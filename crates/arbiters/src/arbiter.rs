@@ -1,0 +1,253 @@
+//! The [`Arbiter`] trait and the conventional (non-QoS) policies.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use vpc_sim::Cycle;
+
+use crate::request::ArbRequest;
+
+/// Selects which pending request accesses a shared resource next.
+///
+/// An arbiter sees requests *after* the cache controller has checked them for
+/// memory-consistency conflicts (§4.1.1), so any serviceable request may be
+/// granted in any order without affecting correctness — ordering only affects
+/// performance and fairness.
+pub trait Arbiter: fmt::Debug {
+    /// Enters `req` into arbitration at cycle `now`. The arbiter stamps the
+    /// request's arrival time.
+    fn enqueue(&mut self, req: ArbRequest, now: Cycle);
+
+    /// Grants the resource to one pending request, removing it from
+    /// arbitration. Called by the resource when it becomes free at `now`.
+    /// Returns `None` if nothing is pending.
+    fn select(&mut self, now: Cycle) -> Option<ArbRequest>;
+
+    /// Number of requests pending in arbitration.
+    fn len(&self) -> usize;
+
+    /// Whether no requests are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconfigures `thread`'s bandwidth share, if this arbiter supports
+    /// QoS shares (the VPC arbiter's system-software-visible control
+    /// registers, §4). Returns `false` for share-oblivious arbiters.
+    fn reconfigure_share(&mut self, _thread: vpc_sim::ThreadId, _share: vpc_sim::Share) -> bool {
+        false
+    }
+}
+
+/// First-come first-serve: grants the oldest pending request regardless of
+/// thread or kind. The paper's baseline for *shared* cache resources.
+#[derive(Debug, Default)]
+pub struct FcfsArbiter {
+    queue: VecDeque<ArbRequest>,
+    seq: u64,
+}
+
+impl FcfsArbiter {
+    /// Creates an empty FCFS arbiter.
+    pub fn new() -> FcfsArbiter {
+        FcfsArbiter::default()
+    }
+}
+
+impl Arbiter for FcfsArbiter {
+    fn enqueue(&mut self, mut req: ArbRequest, now: Cycle) {
+        req.arrival = now;
+        // FIFO insertion preserves arrival order; same-cycle arrivals keep
+        // their enqueue order, which the caller makes deterministic.
+        self.seq += 1;
+        self.queue.push_back(req);
+    }
+
+    fn select(&mut self, _now: Cycle) -> Option<ArbRequest> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Read-over-write first-come first-serve: all pending reads (oldest first)
+/// are granted before any write.
+///
+/// Effective for *private* caches (§3.1), but on a shared resource a thread
+/// with a continuous load stream starves every other thread's stores — the
+/// paper calls this "a critical design flaw" in a real system.
+#[derive(Debug, Default)]
+pub struct RowFcfsArbiter {
+    reads: VecDeque<ArbRequest>,
+    writes: VecDeque<ArbRequest>,
+}
+
+impl RowFcfsArbiter {
+    /// Creates an empty RoW-FCFS arbiter.
+    pub fn new() -> RowFcfsArbiter {
+        RowFcfsArbiter::default()
+    }
+}
+
+impl Arbiter for RowFcfsArbiter {
+    fn enqueue(&mut self, mut req: ArbRequest, now: Cycle) {
+        req.arrival = now;
+        if req.kind.is_read() {
+            self.reads.push_back(req);
+        } else {
+            self.writes.push_back(req);
+        }
+    }
+
+    fn select(&mut self, _now: Cycle) -> Option<ArbRequest> {
+        self.reads.pop_front().or_else(|| self.writes.pop_front())
+    }
+
+    fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+/// Per-thread round-robin: grants threads' oldest requests in rotating
+/// order, skipping threads with nothing pending.
+///
+/// The baseline cache controller uses round-robin selection from the
+/// threads' requests after store gathering (§3.1).
+#[derive(Debug)]
+pub struct RoundRobinArbiter {
+    queues: Vec<VecDeque<ArbRequest>>,
+    next: usize,
+    pending: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates a round-robin arbiter over `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> RoundRobinArbiter {
+        assert!(threads > 0, "at least one thread required");
+        RoundRobinArbiter { queues: (0..threads).map(|_| VecDeque::new()).collect(), next: 0, pending: 0 }
+    }
+}
+
+impl Arbiter for RoundRobinArbiter {
+    fn enqueue(&mut self, mut req: ArbRequest, now: Cycle) {
+        req.arrival = now;
+        let idx = req.thread.index();
+        assert!(idx < self.queues.len(), "thread {} out of range", req.thread);
+        self.queues[idx].push_back(req);
+        self.pending += 1;
+    }
+
+    fn select(&mut self, _now: Cycle) -> Option<ArbRequest> {
+        let n = self.queues.len();
+        for offset in 0..n {
+            let idx = (self.next + offset) % n;
+            if let Some(req) = self.queues[idx].pop_front() {
+                self.next = (idx + 1) % n;
+                self.pending -= 1;
+                return Some(req);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpc_sim::{AccessKind, ThreadId};
+
+    fn read(id: u64, t: u8) -> ArbRequest {
+        ArbRequest::new(id, ThreadId(t), AccessKind::Read, 8)
+    }
+
+    fn write(id: u64, t: u8) -> ArbRequest {
+        ArbRequest::new(id, ThreadId(t), AccessKind::Write, 16)
+    }
+
+    #[test]
+    fn fcfs_grants_in_arrival_order() {
+        let mut arb = FcfsArbiter::new();
+        arb.enqueue(write(1, 0), 0);
+        arb.enqueue(read(2, 1), 1);
+        arb.enqueue(read(3, 0), 2);
+        assert_eq!(arb.select(10).unwrap().id, 1);
+        assert_eq!(arb.select(10).unwrap().id, 2);
+        assert_eq!(arb.select(10).unwrap().id, 3);
+        assert!(arb.select(10).is_none());
+    }
+
+    #[test]
+    fn row_fcfs_prioritizes_reads() {
+        let mut arb = RowFcfsArbiter::new();
+        arb.enqueue(write(1, 0), 0);
+        arb.enqueue(read(2, 1), 5);
+        arb.enqueue(read(3, 1), 6);
+        assert_eq!(arb.select(10).unwrap().id, 2);
+        assert_eq!(arb.select(10).unwrap().id, 3);
+        assert_eq!(arb.select(10).unwrap().id, 1);
+    }
+
+    #[test]
+    fn row_fcfs_starves_writes_under_read_stream() {
+        // The paper's §5.3 observation: a continuous load stream starves a
+        // store under RoW-FCFS for as long as the loads keep coming.
+        let mut arb = RowFcfsArbiter::new();
+        arb.enqueue(write(0, 1), 0);
+        let mut next_id = 1;
+        for now in 0..1000u64 {
+            arb.enqueue(read(next_id, 0), now);
+            let granted = arb.select(now).unwrap();
+            assert!(granted.kind.is_read(), "write was granted while reads pending");
+            next_id += 1;
+        }
+        // Only once the read stream stops does the write get service.
+        assert_eq!(arb.select(1000).unwrap().id, 0);
+    }
+
+    #[test]
+    fn round_robin_rotates_across_threads() {
+        let mut arb = RoundRobinArbiter::new(3);
+        arb.enqueue(read(10, 0), 0);
+        arb.enqueue(read(11, 0), 0);
+        arb.enqueue(read(20, 1), 0);
+        arb.enqueue(read(30, 2), 0);
+        let order: Vec<u64> = std::iter::from_fn(|| arb.select(0)).map(|r| r.id).collect();
+        assert_eq!(order, vec![10, 20, 30, 11]);
+    }
+
+    #[test]
+    fn round_robin_skips_idle_threads() {
+        let mut arb = RoundRobinArbiter::new(4);
+        arb.enqueue(read(1, 3), 0);
+        assert_eq!(arb.select(0).unwrap().id, 1);
+        assert!(arb.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut arb = RoundRobinArbiter::new(2);
+        assert!(arb.is_empty());
+        arb.enqueue(read(1, 0), 0);
+        arb.enqueue(read(2, 1), 0);
+        assert_eq!(arb.len(), 2);
+        arb.select(0);
+        assert_eq!(arb.len(), 1);
+    }
+
+    #[test]
+    fn arrival_is_stamped_on_enqueue() {
+        let mut arb = FcfsArbiter::new();
+        arb.enqueue(read(1, 0), 42);
+        assert_eq!(arb.select(43).unwrap().arrival, 42);
+    }
+}

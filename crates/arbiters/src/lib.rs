@@ -1,0 +1,178 @@
+//! Bandwidth arbiters for shared cache resources.
+//!
+//! The baseline cache microarchitecture (paper §3.1, Figure 2b) has three
+//! shared bandwidth resources per L2 bank — the tag array, the data array and
+//! the bank's data bus — each guarded by an arbiter. This crate provides:
+//!
+//! * [`Arbiter`] — the common interface: requests enter arbitration and the
+//!   arbiter picks which pending request accesses the resource next.
+//! * [`FcfsArbiter`] — first-come first-serve, the paper's multiprocessor
+//!   baseline for shared resources.
+//! * [`RowFcfsArbiter`] — read-over-write FCFS, the uniprocessor policy that
+//!   *starves* stores when another thread issues a continuous load stream
+//!   (demonstrated in the paper's Figure 8 and in this crate's tests).
+//! * [`RoundRobinArbiter`] — per-thread round-robin, used by the cache
+//!   controller's thread-selection stage.
+//! * [`VpcArbiter`] — the paper's contribution: a fair-queuing arbiter with
+//!   per-thread virtual-time registers (`R.S_i`) that guarantees each thread
+//!   its allocated share `beta_i` of the resource's bandwidth (§4.1), using
+//!   earliest-virtual-finish-time-first (EDF) selection and supporting
+//!   intra-thread read-over-write reordering without losing the guarantee.
+//! * [`ArbitratedResource`] — a busy-until resource wrapper that owns an
+//!   arbiter and a utilization meter, mirroring Figure 2b's
+//!   resource-plus-arbiter blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use vpc_arbiters::{Arbiter, ArbRequest, VpcArbiter, IntraThreadOrder};
+//! use vpc_sim::{AccessKind, Share, ThreadId};
+//!
+//! let mut arb = VpcArbiter::new(4, IntraThreadOrder::ReadOverWrite);
+//! arb.set_share(ThreadId(0), Share::new(3, 4).unwrap());
+//! arb.set_share(ThreadId(1), Share::new(1, 4).unwrap());
+//!
+//! arb.enqueue(ArbRequest::new(1, ThreadId(0), AccessKind::Read, 8), 0);
+//! arb.enqueue(ArbRequest::new(2, ThreadId(1), AccessKind::Read, 8), 0);
+//!
+//! // Thread 0 has the larger share => earlier virtual finish time.
+//! let first = arb.select(0).unwrap();
+//! assert_eq!(first.thread, ThreadId(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod drr;
+pub mod request;
+pub mod resource;
+pub mod sfq;
+pub mod vpc;
+
+pub use arbiter::{Arbiter, FcfsArbiter, RoundRobinArbiter, RowFcfsArbiter};
+pub use drr::DrrArbiter;
+pub use request::ArbRequest;
+pub use resource::ArbitratedResource;
+pub use sfq::SfqArbiter;
+pub use vpc::{IntraThreadOrder, VpcArbiter};
+
+use vpc_sim::Share;
+
+/// Which arbiter policy guards a shared resource — the x-axis of the paper's
+/// Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArbiterPolicy {
+    /// First-come first-serve (multiprocessor baseline).
+    Fcfs,
+    /// Read-over-write, then first-come first-serve (uniprocessor policy;
+    /// starves writers under shared load streams).
+    RowFcfs,
+    /// Round-robin over threads.
+    RoundRobin,
+    /// The VPC fair-queuing arbiter with the given per-thread shares.
+    Vpc {
+        /// Bandwidth share `beta_i` for each thread; missing entries are zero.
+        shares: Vec<Share>,
+        /// Ordering applied within each thread's arbitration buffer.
+        order: IntraThreadOrder,
+    },
+    /// Deficit round robin with the given shares (alternative fairness
+    /// policy; coarser short-term latency than the VPC arbiter).
+    Drr {
+        /// Bandwidth share per thread; missing entries are zero.
+        shares: Vec<Share>,
+    },
+    /// Start-time fair queuing with the given shares (no banked
+    /// punishment for past excess service).
+    Sfq {
+        /// Bandwidth share per thread; missing entries are zero.
+        shares: Vec<Share>,
+    },
+}
+
+impl ArbiterPolicy {
+    /// A VPC policy with equal shares for `threads` threads and
+    /// read-over-write intra-thread reordering (the paper's default
+    /// multiprocessor configuration).
+    pub fn vpc_equal(threads: usize) -> ArbiterPolicy {
+        let share = Share::new(1, threads as u32).expect("1/threads is a valid share");
+        ArbiterPolicy::Vpc { shares: vec![share; threads], order: IntraThreadOrder::ReadOverWrite }
+    }
+
+    /// Instantiates a boxed arbiter for `threads` hardware threads.
+    pub fn build(&self, threads: usize) -> Box<dyn Arbiter> {
+        match self {
+            ArbiterPolicy::Fcfs => Box::new(FcfsArbiter::new()),
+            ArbiterPolicy::RowFcfs => Box::new(RowFcfsArbiter::new()),
+            ArbiterPolicy::RoundRobin => Box::new(RoundRobinArbiter::new(threads)),
+            ArbiterPolicy::Vpc { shares, order } => {
+                let mut arb = VpcArbiter::new(threads, *order);
+                for (i, s) in shares.iter().enumerate().take(threads) {
+                    arb.set_share(vpc_sim::ThreadId(i as u8), *s);
+                }
+                Box::new(arb)
+            }
+            ArbiterPolicy::Drr { shares } => {
+                let mut arb = DrrArbiter::new(threads);
+                for (i, s) in shares.iter().enumerate().take(threads) {
+                    arb.set_share(vpc_sim::ThreadId(i as u8), *s);
+                }
+                Box::new(arb)
+            }
+            ArbiterPolicy::Sfq { shares } => {
+                let mut arb = SfqArbiter::new(threads);
+                for (i, s) in shares.iter().enumerate().take(threads) {
+                    arb.set_share(vpc_sim::ThreadId(i as u8), *s);
+                }
+                Box::new(arb)
+            }
+        }
+    }
+
+    /// Short name used in experiment reports ("FCFS", "RoW", "VPC", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbiterPolicy::Fcfs => "FCFS",
+            ArbiterPolicy::RowFcfs => "RoW",
+            ArbiterPolicy::RoundRobin => "RR",
+            ArbiterPolicy::Vpc { .. } => "VPC",
+            ArbiterPolicy::Drr { .. } => "DRR",
+            ArbiterPolicy::Sfq { .. } => "SFQ",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpc_sim::{AccessKind, ThreadId};
+
+    #[test]
+    fn policy_builds_each_variant() {
+        let q = Share::new(1, 4).unwrap();
+        for policy in [
+            ArbiterPolicy::Fcfs,
+            ArbiterPolicy::RowFcfs,
+            ArbiterPolicy::RoundRobin,
+            ArbiterPolicy::vpc_equal(4),
+            ArbiterPolicy::Drr { shares: vec![q; 4] },
+            ArbiterPolicy::Sfq { shares: vec![q; 4] },
+        ] {
+            let mut arb = policy.build(4);
+            assert!(arb.is_empty());
+            arb.enqueue(ArbRequest::new(1, ThreadId(0), AccessKind::Read, 8), 0);
+            assert_eq!(arb.len(), 1);
+            let granted = arb.select(0).expect("one pending request");
+            assert_eq!(granted.id, 1);
+            assert!(arb.is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ArbiterPolicy::Fcfs.label(), "FCFS");
+        assert_eq!(ArbiterPolicy::RowFcfs.label(), "RoW");
+        assert_eq!(ArbiterPolicy::vpc_equal(2).label(), "VPC");
+    }
+}

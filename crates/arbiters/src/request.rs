@@ -1,0 +1,50 @@
+//! The request descriptor arbiters operate on.
+
+use vpc_sim::{AccessKind, Cycle, ThreadId};
+
+/// A request pending in arbitration for one shared resource.
+///
+/// This mirrors the paper's request IDs (Figure 3): the arbiter does not hold
+/// the request's full state, only a small reference (`id`) to the cache
+/// controller state machine plus the fields arbitration needs — the issuing
+/// thread, read/write kind (for read-over-write priorities and the
+/// double-cost data-array writes), arrival time, and the occupancy the
+/// request will impose on the resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArbRequest {
+    /// Reference to the owning controller state machine (a few bits of
+    /// storage in hardware).
+    pub id: u64,
+    /// Issuing hardware thread.
+    pub thread: ThreadId,
+    /// Read or write access.
+    pub kind: AccessKind,
+    /// Cycles the resource will be busy servicing this request (`L_i^k`).
+    /// Writes on the data array carry twice the read service time (two
+    /// back-to-back ECC read-merge-write accesses, §3.1).
+    pub service_time: u64,
+    /// Cycle the request entered arbitration (`a_i^k`). Filled by
+    /// [`Arbiter::enqueue`](crate::Arbiter::enqueue).
+    pub arrival: Cycle,
+}
+
+impl ArbRequest {
+    /// Creates a request descriptor; the arrival time is stamped when the
+    /// request enters arbitration.
+    pub fn new(id: u64, thread: ThreadId, kind: AccessKind, service_time: u64) -> ArbRequest {
+        ArbRequest { id, thread, kind, service_time, arrival: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_defaults_arrival() {
+        let r = ArbRequest::new(7, ThreadId(1), AccessKind::Write, 16);
+        assert_eq!(r.arrival, 0);
+        assert_eq!(r.service_time, 16);
+        assert_eq!(r.thread, ThreadId(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Start-time fair queuing: a third fairness policy for the comparison
+//! the paper defers to future work.
+//!
+//! SFQ differs from the VPC arbiter (a Virtual-Clock/EDF scheme keyed on
+//! real time) in two ways: requests are ordered by virtual **start** time
+//! rather than finish time, and the system virtual time is defined as the
+//! start tag of the request *in service* — so a thread returning from idle
+//! re-enters at the current system virtual time rather than the wall
+//! clock. The practical consequence: a thread that consumed excess
+//! bandwidth while others idled is **not** penalized later (no banked
+//! punishment), at the cost of a slightly weaker short-term latency bound.
+
+use std::collections::VecDeque;
+
+use vpc_sim::{Cycle, Share, ThreadId};
+
+use crate::arbiter::Arbiter;
+use crate::request::ArbRequest;
+
+#[derive(Debug)]
+struct SfqThread {
+    queue: VecDeque<ArbRequest>,
+    /// Virtual finish tag of the thread's most recent grant.
+    finish: u64,
+    share: Share,
+}
+
+/// A start-time fair-queuing arbiter.
+#[derive(Debug)]
+pub struct SfqArbiter {
+    threads: Vec<SfqThread>,
+    /// System virtual time: the start tag of the last granted request.
+    v: u64,
+    pending: usize,
+}
+
+impl SfqArbiter {
+    /// Creates an arbiter for `num_threads` threads, all with zero share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> SfqArbiter {
+        assert!(num_threads > 0, "at least one thread required");
+        SfqArbiter {
+            threads: (0..num_threads)
+                .map(|_| SfqThread { queue: VecDeque::new(), finish: 0, share: Share::ZERO })
+                .collect(),
+            v: 0,
+            pending: 0,
+        }
+    }
+
+    /// Creates an arbiter with equal shares.
+    pub fn equal(num_threads: usize) -> SfqArbiter {
+        let mut arb = SfqArbiter::new(num_threads);
+        let share = Share::new(1, num_threads as u32).expect("1/threads is a valid share");
+        for t in 0..num_threads {
+            arb.set_share(ThreadId(t as u8), share);
+        }
+        arb
+    }
+
+    /// Sets `thread`'s bandwidth share.
+    pub fn set_share(&mut self, thread: ThreadId, share: Share) {
+        self.threads[thread.index()].share = share;
+    }
+
+    /// The system virtual time (for tests).
+    pub fn virtual_time(&self) -> u64 {
+        self.v
+    }
+
+    /// A thread's next start tag: `max(v at arrival-to-idle, previous
+    /// finish)`. Because enqueue clamps `finish` up to `v` for idle
+    /// threads, the start tag is simply the stored finish tag.
+    fn start_tag(&self, t: usize) -> u64 {
+        self.threads[t].finish
+    }
+}
+
+impl Arbiter for SfqArbiter {
+    fn enqueue(&mut self, mut req: ArbRequest, now: Cycle) {
+        req.arrival = now;
+        let v = self.v;
+        let state = &mut self.threads[req.thread.index()];
+        // A thread re-entering from idle starts at the *system virtual
+        // time* (not the wall clock — the SFQ/VC difference).
+        if state.queue.is_empty() && state.finish < v {
+            state.finish = v;
+        }
+        state.queue.push_back(req);
+        self.pending += 1;
+    }
+
+    fn select(&mut self, _now: Cycle) -> Option<ArbRequest> {
+        // Minimum start tag among guaranteed backlogged threads.
+        let mut best: Option<(u64, usize)> = None;
+        for t in 0..self.threads.len() {
+            if self.threads[t].share.is_zero() || self.threads[t].queue.is_empty() {
+                continue;
+            }
+            let start = self.start_tag(t);
+            if best.is_none_or(|(s, _)| start < s) {
+                best = Some((start, t));
+            }
+        }
+        if let Some((start, t)) = best {
+            let req = self.threads[t].queue.pop_front().expect("backlogged");
+            let virt = self.threads[t]
+                .share
+                .scaled_latency(req.service_time)
+                .expect("nonzero share");
+            self.v = start; // system virtual time = start tag in service
+            self.threads[t].finish = start + virt;
+            self.pending -= 1;
+            return Some(req);
+        }
+        // Zero-share threads: oldest first.
+        let t = (0..self.threads.len())
+            .filter(|&t| !self.threads[t].queue.is_empty())
+            .min_by_key(|&t| self.threads[t].queue.front().expect("non-empty").arrival)?;
+        self.pending -= 1;
+        self.threads[t].queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.pending
+    }
+
+    fn reconfigure_share(&mut self, thread: ThreadId, share: Share) -> bool {
+        self.set_share(thread, share);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpc_sim::AccessKind;
+
+    fn read(id: u64, t: u8, service: u64) -> ArbRequest {
+        ArbRequest::new(id, ThreadId(t), AccessKind::Read, service)
+    }
+
+    #[test]
+    fn proportional_split_when_backlogged() {
+        let mut arb = SfqArbiter::new(2);
+        arb.set_share(ThreadId(0), Share::new(3, 4).unwrap());
+        arb.set_share(ThreadId(1), Share::new(1, 4).unwrap());
+        let mut id = 0;
+        let mut grants = [0u64; 2];
+        let mut now = 0;
+        for _ in 0..4000 {
+            for t in 0..2u8 {
+                while arb.threads[t as usize].queue.len() < 2 {
+                    id += 1;
+                    arb.enqueue(read(id, t, 8), now);
+                }
+            }
+            let g = arb.select(now).unwrap();
+            grants[g.thread.index()] += 1;
+            now += g.service_time;
+        }
+        let ratio = grants[0] as f64 / grants[1] as f64;
+        assert!((2.7..3.3).contains(&ratio), "3:1 split expected, got {ratio}");
+    }
+
+    #[test]
+    fn no_banked_punishment_after_solo_running() {
+        // The SFQ property the VPC arbiter lacks: thread 0 over-serves
+        // while thread 1 idles; when thread 1 wakes, thread 0 resumes
+        // competing at the *system* virtual time, so it is served in the
+        // very next few grants rather than starved until the wall clock
+        // catches up.
+        let mut arb = SfqArbiter::equal(2);
+        let mut now = 0;
+        for i in 0..200u64 {
+            arb.enqueue(read(i, 0, 8), now);
+            let g = arb.select(now).unwrap();
+            assert_eq!(g.thread, ThreadId(0));
+            now += g.service_time;
+        }
+        // Thread 1 wakes with a burst; interleave new arrivals.
+        let mut grants0_in_first_10 = 0;
+        let mut id = 1000;
+        for t in 0..10u64 {
+            id += 1;
+            arb.enqueue(read(id, 1, 8), now + t);
+            id += 1;
+            arb.enqueue(read(id, 0, 8), now + t);
+        }
+        for _ in 0..10 {
+            if arb.select(now).unwrap().thread == ThreadId(0) {
+                grants0_in_first_10 += 1;
+            }
+        }
+        assert!(
+            grants0_in_first_10 >= 4,
+            "SFQ must not starve the former solo runner: got {grants0_in_first_10}/10"
+        );
+    }
+
+    #[test]
+    fn system_virtual_time_tracks_service() {
+        let mut arb = SfqArbiter::equal(2);
+        arb.enqueue(read(1, 0, 8), 0);
+        arb.select(0);
+        let v1 = arb.virtual_time();
+        arb.enqueue(read(2, 0, 8), 100);
+        arb.select(100);
+        assert!(arb.virtual_time() > v1, "virtual time advances with service");
+    }
+
+    #[test]
+    fn zero_share_fallback_is_fcfs() {
+        let mut arb = SfqArbiter::new(2);
+        arb.enqueue(read(1, 1, 8), 0);
+        arb.enqueue(read(2, 0, 8), 1);
+        assert_eq!(arb.select(2).unwrap().id, 1);
+        assert_eq!(arb.select(2).unwrap().id, 2);
+    }
+}

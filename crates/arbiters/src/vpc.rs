@@ -1,0 +1,506 @@
+//! The VPC fair-queuing arbiter (paper §4.1).
+//!
+//! Each shared cache resource (tag array, data array, data bus) gets one
+//! [`VpcArbiter`]. The arbiter keeps, per thread, a small buffer of pending
+//! request IDs and a virtual-time register `R.S_i` tracking when the thread's
+//! *virtual private resource* next becomes available. Selection is earliest
+//! virtual finish time first (EDF):
+//!
+//! * Eq. 3': `S_i^k = R.S_i` — the optimized implementation needs no stored
+//!   per-request arrival times.
+//! * Eq. 4:  `F_i^k = S_i^k + L_i^k / beta_i` (writes on the data array have
+//!   twice the service requirement, which callers encode in
+//!   [`ArbRequest::service_time`]).
+//! * Eq. 5:  on grant, `R.S_i <- F_i^k`.
+//! * Eq. 6:  when a request arrives to an *empty* thread queue and
+//!   `R.S_i <= R.clk`, then `R.S_i <- R.clk`.
+//!
+//! Because `R.S_i` depends only on the amount of service the thread has
+//! received — not on which specific request is served — requests within a
+//! thread's buffer may be reordered (read-over-write) without changing the
+//! bandwidth each thread receives relative to others (§4.1.1).
+
+use std::collections::VecDeque;
+
+use vpc_sim::{Cycle, Share, ThreadId};
+
+use crate::arbiter::Arbiter;
+use crate::request::ArbRequest;
+
+/// Ordering applied within a single thread's arbitration buffer.
+///
+/// Intra-thread reordering is the performance optimization §4.1.1 enables:
+/// it cannot cause cross-thread starvation because the virtual-time
+/// bookkeeping is per-thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntraThreadOrder {
+    /// Service the thread's requests strictly in arrival order.
+    Fifo,
+    /// Prefer the thread's oldest pending *read* over older writes
+    /// (read-over-write), falling back to FIFO when no read is pending.
+    #[default]
+    ReadOverWrite,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    /// Pending request IDs (Figure 3's per-thread buffer).
+    buffer: VecDeque<ArbRequest>,
+    /// `R.S_i`: the virtual time the thread's virtual resource next becomes
+    /// available.
+    r_s: u64,
+    /// `beta_i`: the thread's share of this resource's bandwidth.
+    share: Share,
+}
+
+impl ThreadState {
+    fn new() -> ThreadState {
+        ThreadState { buffer: VecDeque::new(), r_s: 0, share: Share::ZERO }
+    }
+}
+
+/// The paper's fair-queuing arbiter with per-thread virtual-time registers.
+///
+/// See the [module documentation](self) for the algorithm. Threads with a
+/// [`Share::ZERO`] allocation hold no bandwidth guarantee and are serviced
+/// (oldest first) only when no guaranteed thread is backlogged.
+#[derive(Debug)]
+pub struct VpcArbiter {
+    threads: Vec<ThreadState>,
+    order: IntraThreadOrder,
+    pending: usize,
+    /// Virtual finish time of the most recent grant, for analysis/tests.
+    last_deadline: Option<u64>,
+}
+
+impl VpcArbiter {
+    /// Creates an arbiter for `num_threads` threads, all initially with zero
+    /// share; configure guarantees with [`VpcArbiter::set_share`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize, order: IntraThreadOrder) -> VpcArbiter {
+        assert!(num_threads > 0, "at least one thread required");
+        VpcArbiter {
+            threads: (0..num_threads).map(|_| ThreadState::new()).collect(),
+            order,
+            pending: 0,
+            last_deadline: None,
+        }
+    }
+
+    /// Sets thread `thread`'s bandwidth share `beta_i`. In hardware this is
+    /// a system-software-visible control register; `R.L_i` values derived
+    /// from it are recomputed on the fly here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range for this arbiter.
+    pub fn set_share(&mut self, thread: ThreadId, share: Share) {
+        self.threads[thread.index()].share = share;
+    }
+
+    /// Returns thread `thread`'s configured share.
+    pub fn share(&self, thread: ThreadId) -> Share {
+        self.threads[thread.index()].share
+    }
+
+    /// The sum of all configured shares, or `None` if they over-commit the
+    /// resource (`sum(beta_i) > 1`), which voids the EDF guarantee.
+    pub fn total_share(&self) -> Option<Share> {
+        Share::checked_sum(self.threads.iter().map(|t| t.share))
+    }
+
+    /// `R.S_i` for thread `thread` — exposed for tests and analysis.
+    pub fn virtual_start(&self, thread: ThreadId) -> u64 {
+        self.threads[thread.index()].r_s
+    }
+
+    /// The virtual finish time (deadline) of the most recently granted
+    /// request, if that request belonged to a guaranteed (nonzero-share)
+    /// thread.
+    pub fn last_deadline(&self) -> Option<u64> {
+        self.last_deadline
+    }
+
+    /// Index into the thread's buffer of the request its reorder policy
+    /// would send next.
+    fn candidate_index(&self, thread: usize) -> Option<usize> {
+        let buffer = &self.threads[thread].buffer;
+        if buffer.is_empty() {
+            return None;
+        }
+        match self.order {
+            IntraThreadOrder::Fifo => Some(0),
+            IntraThreadOrder::ReadOverWrite => {
+                Some(buffer.iter().position(|r| r.kind.is_read()).unwrap_or(0))
+            }
+        }
+    }
+}
+
+impl Arbiter for VpcArbiter {
+    fn enqueue(&mut self, mut req: ArbRequest, now: Cycle) {
+        req.arrival = now;
+        let state = &mut self.threads[req.thread.index()];
+        // Eq. 6: arriving to an empty queue resets a stale virtual clock to
+        // real time, so R.S_i always holds the next request's virtual start.
+        if state.buffer.is_empty() && state.r_s < now {
+            state.r_s = now;
+        }
+        state.buffer.push_back(req);
+        self.pending += 1;
+    }
+
+    fn select(&mut self, now: Cycle) -> Option<ArbRequest> {
+        // Guaranteed threads first: earliest virtual finish time (EDF).
+        let mut best: Option<(u64, u64, usize, usize)> = None; // (F, arrival, thread, pos)
+        for t in 0..self.threads.len() {
+            if self.threads[t].share.is_zero() {
+                continue;
+            }
+            let Some(pos) = self.candidate_index(t) else { continue };
+            let req = self.threads[t].buffer[pos];
+            let virt_service = self.threads[t]
+                .share
+                .scaled_latency(req.service_time)
+                .expect("nonzero share has finite virtual service time");
+            let finish = self.threads[t].r_s + virt_service; // Eq. 3' + Eq. 4
+            let key = (finish, req.arrival, t, pos);
+            if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                best = Some(key);
+            }
+        }
+        if let Some((finish, _arrival, t, pos)) = best {
+            let req = self.threads[t].buffer.remove(pos).expect("candidate position valid");
+            self.threads[t].r_s = finish; // Eq. 5
+            self.pending -= 1;
+            self.last_deadline = Some(finish);
+            return Some(req);
+        }
+
+        // Excess bandwidth for zero-share threads: oldest request first.
+        let mut best_free: Option<(u64, usize, usize)> = None; // (arrival, thread, pos)
+        for t in 0..self.threads.len() {
+            if !self.threads[t].share.is_zero() {
+                continue;
+            }
+            let Some(pos) = self.candidate_index(t) else { continue };
+            let req = self.threads[t].buffer[pos];
+            if best_free.is_none_or(|b| (req.arrival, t) < (b.0, b.1)) {
+                best_free = Some((req.arrival, t, pos));
+            }
+        }
+        let (_, t, pos) = best_free?;
+        let req = self.threads[t].buffer.remove(pos).expect("candidate position valid");
+        // A zero-share grant still advances real time only; R.S_i is
+        // untouched because the thread holds no virtual resource.
+        let _ = now;
+        self.pending -= 1;
+        self.last_deadline = None;
+        Some(req)
+    }
+
+    fn len(&self) -> usize {
+        self.pending
+    }
+
+    fn reconfigure_share(&mut self, thread: ThreadId, share: Share) -> bool {
+        self.set_share(thread, share);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vpc_sim::AccessKind;
+
+    fn share(n: u32, d: u32) -> Share {
+        Share::new(n, d).unwrap()
+    }
+
+    fn read(id: u64, t: u8, service: u64) -> ArbRequest {
+        ArbRequest::new(id, ThreadId(t), AccessKind::Read, service)
+    }
+
+    fn write(id: u64, t: u8, service: u64) -> ArbRequest {
+        ArbRequest::new(id, ThreadId(t), AccessKind::Write, service)
+    }
+
+    fn equal_share_arbiter(n: usize) -> VpcArbiter {
+        let mut arb = VpcArbiter::new(n, IntraThreadOrder::Fifo);
+        for t in 0..n {
+            arb.set_share(ThreadId(t as u8), share(1, n as u32));
+        }
+        arb
+    }
+
+    #[test]
+    fn eq6_resets_stale_virtual_clock() {
+        let mut arb = equal_share_arbiter(2);
+        arb.enqueue(read(1, 0, 8), 0);
+        arb.select(0);
+        assert_eq!(arb.virtual_start(ThreadId(0)), 16); // 8 / (1/2)
+        // Thread 0 goes idle; a request arriving at cycle 100 must not be
+        // credited for the idle period.
+        arb.enqueue(read(2, 0, 8), 100);
+        assert_eq!(arb.virtual_start(ThreadId(0)), 100);
+        let granted = arb.select(100).unwrap();
+        assert_eq!(granted.id, 2);
+        assert_eq!(arb.virtual_start(ThreadId(0)), 116);
+    }
+
+    #[test]
+    fn eq6_does_not_rewind_backlogged_clock() {
+        let mut arb = equal_share_arbiter(2);
+        arb.enqueue(read(1, 0, 8), 0);
+        arb.select(0);
+        // R.S = 16. A request arriving at cycle 4 (before the virtual
+        // resource frees) keeps the backlogged virtual clock.
+        arb.enqueue(read(2, 0, 8), 4);
+        assert_eq!(arb.virtual_start(ThreadId(0)), 16);
+    }
+
+    #[test]
+    fn edf_prefers_larger_share() {
+        let mut arb = VpcArbiter::new(2, IntraThreadOrder::Fifo);
+        arb.set_share(ThreadId(0), share(3, 4));
+        arb.set_share(ThreadId(1), share(1, 4));
+        arb.enqueue(read(1, 0, 8), 0);
+        arb.enqueue(read(2, 1, 8), 0);
+        // F0 = ceil(8/(3/4)) = 11, F1 = 32.
+        assert_eq!(arb.select(0).unwrap().id, 1);
+        assert_eq!(arb.virtual_start(ThreadId(0)), 11);
+        assert_eq!(arb.select(0).unwrap().id, 2);
+        assert_eq!(arb.virtual_start(ThreadId(1)), 32);
+    }
+
+    #[test]
+    fn bandwidth_split_matches_shares_when_both_backlogged() {
+        // Two threads, shares 3/4 and 1/4, both continuously backlogged with
+        // 8-cycle reads: over any long window thread 0 gets ~3x the grants.
+        let mut arb = VpcArbiter::new(2, IntraThreadOrder::Fifo);
+        arb.set_share(ThreadId(0), share(3, 4));
+        arb.set_share(ThreadId(1), share(1, 4));
+        let mut id = 0;
+        let mut grants = [0u64; 2];
+        let mut now = 0u64;
+        for _ in 0..4000 {
+            // Keep both queues non-empty.
+            while arb.threads[0].buffer.len() < 2 {
+                id += 1;
+                arb.enqueue(read(id, 0, 8), now);
+            }
+            while arb.threads[1].buffer.len() < 2 {
+                id += 1;
+                arb.enqueue(read(id, 1, 8), now);
+            }
+            let g = arb.select(now).unwrap();
+            grants[g.thread.index()] += 1;
+            now += g.service_time;
+        }
+        let ratio = grants[0] as f64 / grants[1] as f64;
+        assert!((2.9..3.1).contains(&ratio), "grant ratio {ratio} != ~3.0");
+    }
+
+    #[test]
+    fn write_double_cost_halves_write_grant_rate() {
+        // Equal shares; thread 0 sends 8-cycle reads, thread 1 sends
+        // 16-cycle writes. Equal *bandwidth* means thread 1 gets half the
+        // grants (stores need twice the data-array bandwidth, §5.3).
+        let mut arb = equal_share_arbiter(2);
+        let mut id = 0;
+        let mut grants = [0u64; 2];
+        let mut now = 0u64;
+        for _ in 0..3000 {
+            while arb.threads[0].buffer.len() < 2 {
+                id += 1;
+                arb.enqueue(read(id, 0, 8), now);
+            }
+            while arb.threads[1].buffer.len() < 2 {
+                id += 1;
+                arb.enqueue(write(id, 1, 16), now);
+            }
+            let g = arb.select(now).unwrap();
+            grants[g.thread.index()] += 1;
+            now += g.service_time;
+        }
+        let ratio = grants[0] as f64 / grants[1] as f64;
+        assert!((1.9..2.1).contains(&ratio), "grant ratio {ratio} != ~2.0");
+    }
+
+    #[test]
+    fn zero_share_thread_only_gets_excess() {
+        let mut arb = VpcArbiter::new(2, IntraThreadOrder::Fifo);
+        arb.set_share(ThreadId(0), Share::FULL);
+        // Thread 1 has zero share.
+        arb.enqueue(read(1, 1, 8), 0);
+        arb.enqueue(read(2, 0, 8), 0);
+        assert_eq!(arb.select(0).unwrap().id, 2, "guaranteed thread first");
+        assert_eq!(arb.select(8).unwrap().id, 1, "excess goes to zero-share thread");
+    }
+
+    #[test]
+    fn row_reordering_is_intra_thread_only() {
+        let mut arb = VpcArbiter::new(2, IntraThreadOrder::ReadOverWrite);
+        arb.set_share(ThreadId(0), share(1, 2));
+        arb.set_share(ThreadId(1), share(1, 2));
+        // Thread 0: write then read. RoW lets its read jump its own write...
+        arb.enqueue(write(1, 0, 16), 0);
+        arb.enqueue(read(2, 0, 8), 0);
+        // ...but thread 1's virtual finish time is unaffected.
+        arb.enqueue(read(3, 1, 8), 0);
+        let first = arb.select(0).unwrap();
+        assert_eq!(first.id, 2, "thread 0's read bypasses its own write (RoW)");
+        let second = arbiter_drain_one(&mut arb, 8);
+        assert_eq!(second.thread, ThreadId(1), "thread 1 unaffected by thread 0 reordering");
+    }
+
+    fn arbiter_drain_one(arb: &mut VpcArbiter, now: Cycle) -> ArbRequest {
+        arb.select(now).expect("request pending")
+    }
+
+    #[test]
+    fn total_share_detects_overcommit() {
+        let mut arb = VpcArbiter::new(3, IntraThreadOrder::Fifo);
+        arb.set_share(ThreadId(0), share(1, 2));
+        arb.set_share(ThreadId(1), share(1, 2));
+        assert_eq!(arb.total_share(), Some(Share::FULL));
+        arb.set_share(ThreadId(2), share(1, 4));
+        assert_eq!(arb.total_share(), None);
+    }
+
+    /// Reference model of the per-thread virtual clock used to check the
+    /// §3.2 guarantee: each of a thread's services completes no later than
+    /// its virtual finish time plus the maximum service time (the
+    /// preemption latency of a non-preemptible resource).
+    struct GuaranteeChecker {
+        v: Vec<u64>,
+        queue_len: Vec<usize>,
+        shares: Vec<Share>,
+        max_service: u64,
+    }
+
+    impl GuaranteeChecker {
+        fn new(shares: Vec<Share>) -> GuaranteeChecker {
+            let n = shares.len();
+            GuaranteeChecker { v: vec![0; n], queue_len: vec![0; n], shares, max_service: 0 }
+        }
+
+        fn on_enqueue(&mut self, thread: usize, now: u64, service: u64) {
+            if self.queue_len[thread] == 0 && self.v[thread] < now {
+                self.v[thread] = now;
+            }
+            self.queue_len[thread] += 1;
+            self.max_service = self.max_service.max(service);
+        }
+
+        fn on_complete(&mut self, thread: usize, finish: u64, service: u64) {
+            self.queue_len[thread] -= 1;
+            if let Some(virt) = self.shares[thread].scaled_latency(service) {
+                self.v[thread] += virt;
+                assert!(
+                    finish <= self.v[thread] + self.max_service,
+                    "thread {thread} finished at {finish}, deadline {} + max {}",
+                    self.v[thread],
+                    self.max_service
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The paper's minimum-bandwidth guarantee, tested against random
+        /// arrival patterns with non-over-committed shares: every service of
+        /// a guaranteed thread completes by its virtual deadline plus one
+        /// maximum service time.
+        #[test]
+        fn deadline_guarantee_holds(
+            seed in any::<u64>(),
+            order in prop_oneof![Just(IntraThreadOrder::Fifo), Just(IntraThreadOrder::ReadOverWrite)],
+        ) {
+            use vpc_sim::SplitMix64;
+            let mut rng = SplitMix64::new(seed);
+            let shares = vec![share(1, 2), share(1, 4), share(1, 8), Share::ZERO];
+            let mut arb = VpcArbiter::new(4, order);
+            for (t, s) in shares.iter().enumerate() {
+                arb.set_share(ThreadId(t as u8), *s);
+            }
+            let mut checker = GuaranteeChecker::new(shares);
+            let mut now: u64 = 0;
+            let mut id = 0u64;
+            let mut busy_until = 0u64;
+            for _ in 0..2000 {
+                // Random arrivals.
+                for t in 0..4u8 {
+                    if rng.chance(0.3) {
+                        id += 1;
+                        let is_write = rng.chance(0.4);
+                        let service = if is_write { 16 } else { 8 };
+                        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                        arb.enqueue(ArbRequest::new(id, ThreadId(t), kind, service), now);
+                        checker.on_enqueue(t as usize, now, service);
+                    }
+                }
+                // Service when free.
+                if now >= busy_until {
+                    if let Some(req) = arb.select(now) {
+                        let finish = now + req.service_time;
+                        busy_until = finish;
+                        checker.on_complete(req.thread.index(), finish, req.service_time);
+                    }
+                }
+                now += 1;
+            }
+        }
+
+        /// Work conservation: the arbiter always grants when any request is
+        /// pending, regardless of shares.
+        #[test]
+        fn work_conserving(seed in any::<u64>()) {
+            use vpc_sim::SplitMix64;
+            let mut rng = SplitMix64::new(seed);
+            let mut arb = VpcArbiter::new(3, IntraThreadOrder::ReadOverWrite);
+            arb.set_share(ThreadId(0), share(1, 4));
+            // Threads 1, 2 left at zero share.
+            let mut id = 0;
+            for step in 0..500u64 {
+                let t = rng.below(3) as u8;
+                id += 1;
+                arb.enqueue(read(id, t, 8), step);
+                prop_assert!(arb.select(step).is_some(), "pending request must be granted");
+            }
+        }
+
+        /// R.S_i never decreases: virtual time is monotone per thread.
+        #[test]
+        fn virtual_start_is_monotone(seed in any::<u64>()) {
+            use vpc_sim::SplitMix64;
+            let mut rng = SplitMix64::new(seed);
+            let mut arb = equal_share_arbiter(2);
+            let mut last = [0u64; 2];
+            let mut id = 0;
+            let mut now = 0u64;
+            for _ in 0..500 {
+                if rng.chance(0.7) {
+                    id += 1;
+                    arb.enqueue(read(id, (id % 2) as u8, 8), now);
+                }
+                if rng.chance(0.6) {
+                    let _ = arb.select(now);
+                }
+                for t in 0..2 {
+                    let v = arb.virtual_start(ThreadId(t as u8));
+                    prop_assert!(v >= last[t], "R.S went backwards");
+                    last[t] = v;
+                }
+                now += rng.below(4);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-policy QoS properties: every share-aware arbiter (VPC, DRR, SFQ)
+//! must converge to share-proportional service under backlog, and the
+//! share-oblivious policies must at least not lose requests.
+
+use proptest::prelude::*;
+
+use vpc_arbiters::{ArbRequest, ArbiterPolicy, IntraThreadOrder};
+use vpc_sim::{AccessKind, Share, SplitMix64, ThreadId};
+
+fn share_aware_policies(shares: Vec<Share>) -> Vec<ArbiterPolicy> {
+    vec![
+        ArbiterPolicy::Vpc { shares: shares.clone(), order: IntraThreadOrder::ReadOverWrite },
+        ArbiterPolicy::Drr { shares: shares.clone() },
+        ArbiterPolicy::Sfq { shares },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Under continuous backlog with mixed read/write service times, every
+    /// QoS arbiter delivers service (busy cycles, not grant counts)
+    /// proportional to the configured shares, within 10%.
+    #[test]
+    fn qos_arbiters_converge_to_proportional_service(
+        seed in any::<u64>(),
+        num0 in 1u32..=3,
+    ) {
+        let shares = vec![
+            Share::new(num0, 4).unwrap(),
+            Share::new(4 - num0, 4).unwrap(),
+        ];
+        for policy in share_aware_policies(shares.clone()) {
+            let mut arb = policy.build(2);
+            let mut rng = SplitMix64::new(seed);
+            let mut service = [0u64; 2];
+            let mut id = 0;
+            let mut now = 0u64;
+            let mut queued = [0u32; 2];
+            for _ in 0..6000 {
+                for t in 0..2u8 {
+                    while queued[t as usize] < 2 {
+                        id += 1;
+                        let write = rng.chance(0.4);
+                        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                        let cost = if write { 16 } else { 8 };
+                        arb.enqueue(ArbRequest::new(id, ThreadId(t), kind, cost), now);
+                        queued[t as usize] += 1;
+                    }
+                }
+                let g = arb.select(now).expect("backlogged");
+                queued[g.thread.index()] -= 1;
+                service[g.thread.index()] += g.service_time;
+                now += g.service_time;
+            }
+            let total = (service[0] + service[1]) as f64;
+            let got = service[0] as f64 / total;
+            let want = shares[0].as_f64();
+            prop_assert!(
+                (got - want).abs() < 0.10,
+                "{}: thread 0 got {got:.3} of service, share is {want:.3}",
+                policy.label()
+            );
+        }
+    }
+
+    /// No arbiter ever loses or duplicates a request.
+    #[test]
+    fn arbiters_conserve_requests(seed in any::<u64>(), which in 0u8..6) {
+        let shares = vec![Share::new(1, 2).unwrap(), Share::new(1, 2).unwrap()];
+        let policy = match which {
+            0 => ArbiterPolicy::Fcfs,
+            1 => ArbiterPolicy::RowFcfs,
+            2 => ArbiterPolicy::RoundRobin,
+            3 => ArbiterPolicy::Vpc { shares, order: IntraThreadOrder::Fifo },
+            4 => ArbiterPolicy::Drr { shares },
+            _ => ArbiterPolicy::Sfq { shares },
+        };
+        let mut arb = policy.build(2);
+        let mut rng = SplitMix64::new(seed);
+        let mut submitted = std::collections::BTreeSet::new();
+        let mut granted = std::collections::BTreeSet::new();
+        let mut id = 0u64;
+        for now in 0..2000u64 {
+            if rng.chance(0.4) {
+                id += 1;
+                let t = ThreadId(rng.below(2) as u8);
+                arb.enqueue(ArbRequest::new(id, t, AccessKind::Read, 8), now);
+                submitted.insert(id);
+            }
+            if rng.chance(0.4) {
+                if let Some(g) = arb.select(now) {
+                    prop_assert!(granted.insert(g.id), "request {} granted twice", g.id);
+                }
+            }
+        }
+        while let Some(g) = arb.select(3000) {
+            prop_assert!(granted.insert(g.id), "request {} granted twice", g.id);
+        }
+        prop_assert_eq!(submitted, granted, "every request granted exactly once");
+        prop_assert!(arb.is_empty());
+    }
+
+    /// Round robin visits backlogged threads in strict rotation.
+    #[test]
+    fn round_robin_is_fair_per_request(seed in any::<u64>()) {
+        let mut arb = ArbiterPolicy::RoundRobin.build(4);
+        let mut rng = SplitMix64::new(seed);
+        let mut id = 0u64;
+        // Keep all four threads backlogged; over 4k grants each thread
+        // receives exactly 1k.
+        let mut queued = [0u32; 4];
+        let mut grants = [0u32; 4];
+        for now in 0..4000u64 {
+            for t in 0..4u8 {
+                while queued[t as usize] < 2 {
+                    id += 1;
+                    let kind =
+                        if rng.chance(0.5) { AccessKind::Read } else { AccessKind::Write };
+                    arb.enqueue(ArbRequest::new(id, ThreadId(t), kind, 8), now);
+                    queued[t as usize] += 1;
+                }
+            }
+            let g = arb.select(now).expect("backlogged");
+            queued[g.thread.index()] -= 1;
+            grants[g.thread.index()] += 1;
+        }
+        for t in 0..4 {
+            prop_assert_eq!(grants[t], 1000, "thread {} grants {:?}", t, grants);
+        }
+    }
+}

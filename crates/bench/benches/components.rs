@@ -1,0 +1,119 @@
+//! Microbenchmarks of the simulator's building blocks: arbiter grant
+//! throughput (the paper's Figure 3 hardware is a handful of comparators,
+//! so the software model must also be cheap), capacity-manager victim
+//! selection, and the DRAM channel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vpc::prelude::*;
+use vpc_arbiters::ArbRequest;
+use vpc_capacity::{ReplacementPolicy, TagSet, TrueLru, VpcCapacityManager};
+use vpc_mem::{DramChannel, MemConfig};
+use vpc_sim::{AccessKind, LineAddr, SplitMix64};
+
+fn bench_arbiters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_grant");
+    let q = Share::new(1, 4).unwrap();
+    for policy in [
+        ArbiterPolicy::Fcfs,
+        ArbiterPolicy::RowFcfs,
+        ArbiterPolicy::RoundRobin,
+        ArbiterPolicy::vpc_equal(4),
+        ArbiterPolicy::Drr { shares: vec![q; 4] },
+        ArbiterPolicy::Sfq { shares: vec![q; 4] },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
+            b.iter_batched(
+                || {
+                    let mut arb = policy.build(4);
+                    for i in 0..64u64 {
+                        let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+                        let service = if kind.is_read() { 8 } else { 16 };
+                        arb.enqueue(ArbRequest::new(i, ThreadId((i % 4) as u8), kind, service), i);
+                    }
+                    arb
+                },
+                |mut arb| {
+                    let mut now = 0;
+                    while let Some(req) = arb.select(now) {
+                        now += req.service_time;
+                        black_box(req.id);
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("victim_selection");
+    let mut set = TagSet::new(32);
+    let mut rng = SplitMix64::new(1);
+    for way in 0..32 {
+        set.fill(way, LineAddr(way as u64), ThreadId((way % 4) as u8), rng.below(1000));
+    }
+    let lru = TrueLru;
+    let vpc = VpcCapacityManager::equal(4, 32);
+    group.bench_function("true_lru", |b| {
+        b.iter(|| black_box(lru.choose_victim(black_box(&set), ThreadId(0))))
+    });
+    group.bench_function("vpc_way_quota", |b| {
+        b.iter(|| black_box(vpc.choose_victim(black_box(&set), ThreadId(0))))
+    });
+    group.finish();
+}
+
+fn bench_dram_channel(c: &mut Criterion) {
+    c.bench_function("dram_channel_16_reads", |b| {
+        b.iter_batched(
+            || DramChannel::new(MemConfig::ddr2_800()),
+            |mut ch| {
+                let mut now = 0;
+                for i in 0..16u64 {
+                    while !ch.bank_available(LineAddr(i), now) {
+                        now += 5;
+                    }
+                    black_box(ch.issue(LineAddr(i), AccessKind::Read, i, now));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_system_cycle_rate(c: &mut Criterion) {
+    // Whole-system simulation rate: cycles per second of the 4-thread
+    // Table 1 machine under VPC arbiters.
+    c.bench_function("cmp_system_10k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = CmpConfig::table1().with_arbiter(ArbiterPolicy::vpc_equal(4));
+                cfg.l2.total_sets = 1024;
+                let mix = [
+                    WorkloadSpec::Spec("art"),
+                    WorkloadSpec::Spec("mcf"),
+                    WorkloadSpec::Spec("gcc"),
+                    WorkloadSpec::Spec("gzip"),
+                ];
+                CmpSystem::new(cfg, &mix)
+            },
+            |mut sys| {
+                sys.run(10_000);
+                black_box(sys.now());
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arbiters,
+    bench_capacity,
+    bench_dram_channel,
+    bench_system_cycle_rate
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! One Criterion bench per table/figure of the paper: each benchmark runs
+//! a reduced-budget version of the corresponding experiment end to end, so
+//! `cargo bench` both regenerates every result's machinery and tracks the
+//! harness's performance over time. The full-length runs (paper-scale
+//! windows, all benchmarks/mixes) live in the `vpc-bench` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vpc::experiments::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9, RunBudget};
+use vpc::prelude::*;
+
+fn small_base() -> CmpConfig {
+    let mut cfg = CmpConfig::table1();
+    cfg.l2.total_sets = 1024;
+    cfg
+}
+
+fn tiny() -> RunBudget {
+    RunBudget { warmup: 4_000, window: 12_000 }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let base = small_base();
+    c.bench_function("fig4_bank_timing", |b| b.iter(|| black_box(fig4::run(&base))));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let base = small_base();
+    c.bench_function("fig5_micro_utilization", |b| {
+        b.iter(|| black_box(fig5::run(&base, tiny())))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let base = small_base();
+    // One representative benchmark per weight class keeps the bench quick.
+    c.bench_function("fig6_spec_utilization", |b| {
+        b.iter(|| {
+            for name in ["art", "gcc", "sixtrack"] {
+                black_box(fig6::run_one(&base, name, tiny()));
+            }
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let base = small_base();
+    c.bench_function("fig7_store_gathering", |b| {
+        b.iter(|| {
+            let mut cfg = base.clone();
+            cfg.processors = 1;
+            cfg.l2.threads = 1;
+            let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Spec("mesa")]);
+            black_box(sys.run_measured(tiny().warmup, tiny().window).gathering_rate[0])
+        })
+    });
+    // The full 18-benchmark table:
+    let mut group = c.benchmark_group("fig7_full");
+    group.sample_size(10);
+    group.bench_function("all_benchmarks", |b| b.iter(|| black_box(fig7::run(&base, tiny()))));
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let base = small_base();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("loads_stores_sweep", |b| b.iter(|| black_box(fig8::run(&base, tiny()))));
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let base = small_base();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("subject_vs_stores", |b| {
+        b.iter(|| black_box(fig9::run(&base, &["gcc"], tiny())))
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let base = small_base();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("heterogeneous_mix", |b| {
+        b.iter(|| black_box(fig10::run(&base, &[["gcc", "gzip", "twolf", "ammp"]], tiny())))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let base = small_base();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("work_conservation", |b| {
+        b.iter(|| black_box(ablations::work_conservation(&base, tiny())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Ablations: reordering, capacity manager, preemption latency, work
+//! conservation.
+
+use vpc::experiments::ablations;
+use vpc::prelude::*;
+
+fn main() {
+    let budget = vpc_bench::budget_from_args();
+    vpc_bench::header("Ablations", budget);
+    let base = CmpConfig::table1();
+    println!("{}", ablations::reorder(&base, budget));
+    println!("{}", ablations::capacity(&base, budget));
+    println!("{}", ablations::preemption(&base, budget));
+    println!("{}", ablations::memory_fq(&base, budget));
+    println!("{}", ablations::prefetch(&base, budget));
+    println!("{}", ablations::fairness_policies(&base, budget));
+    println!("{}", ablations::scaling(&base, budget));
+    println!("{}", ablations::work_conservation(&base, budget));
+}

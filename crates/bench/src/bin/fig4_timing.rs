@@ -1,0 +1,9 @@
+//! Figure 4: timing of back-to-back reads to different cache banks.
+
+use vpc::experiments::fig4;
+use vpc::prelude::*;
+
+fn main() {
+    let base = CmpConfig::table1();
+    println!("{}", fig4::run(&base));
+}

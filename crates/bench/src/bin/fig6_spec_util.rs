@@ -1,0 +1,16 @@
+//! Figure 6: SPEC solo L2 utilization.
+
+use vpc::experiments::fig6;
+use vpc::prelude::*;
+use vpc::report::{to_json, Fig6Report};
+
+fn main() {
+    let budget = vpc_bench::budget_from_args();
+    let result = fig6::run(&CmpConfig::table1(), budget);
+    if vpc_bench::json_requested() {
+        println!("{}", to_json(&Fig6Report::from(&result)));
+    } else {
+        vpc_bench::header("Figure 6", budget);
+        println!("{result}");
+    }
+}

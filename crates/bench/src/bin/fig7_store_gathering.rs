@@ -1,0 +1,16 @@
+//! Figure 7: L2 write fraction and store gathering rate.
+
+use vpc::experiments::fig7;
+use vpc::prelude::*;
+use vpc::report::{to_json, Fig7Report};
+
+fn main() {
+    let budget = vpc_bench::budget_from_args();
+    let result = fig7::run(&CmpConfig::table1(), budget);
+    if vpc_bench::json_requested() {
+        println!("{}", to_json(&Fig7Report::from(&result)));
+    } else {
+        vpc_bench::header("Figure 7", budget);
+        println!("{result}");
+    }
+}

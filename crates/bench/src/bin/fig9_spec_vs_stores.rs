@@ -1,0 +1,17 @@
+//! Figure 9: SPEC subject thread vs. three Stores background threads.
+
+use vpc::experiments::fig9;
+use vpc::prelude::*;
+use vpc::report::{to_json, Fig9Report};
+use vpc_workloads::SPEC_NAMES;
+
+fn main() {
+    let budget = vpc_bench::budget_from_args();
+    let result = fig9::run(&CmpConfig::table1(), &SPEC_NAMES, budget);
+    if vpc_bench::json_requested() {
+        println!("{}", to_json(&Fig9Report::from(&result)));
+    } else {
+        vpc_bench::header("Figure 9", budget);
+        println!("{result}");
+    }
+}

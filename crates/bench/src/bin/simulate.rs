@@ -1,0 +1,200 @@
+//! A general-purpose driver for the simulated CMP: pick workloads, an
+//! arbiter policy, shares, banks and channel topology from the command
+//! line and get per-thread IPCs, QoS targets, utilization and latency.
+//!
+//! ```sh
+//! cargo run --release -p vpc-bench --bin simulate -- \
+//!     --workloads art,mcf,Loads,Stores \
+//!     --arbiter vpc --shares 1/2,1/6,1/6,1/6 \
+//!     --banks 2 --warmup 50000 --cycles 200000
+//! ```
+//!
+//! Workloads: any SPEC profile name, `Loads`, `Stores`, or `idle`.
+//! Arbiters: `fcfs`, `row`, `rr`, `vpc`, `drr`, `sfq`.
+//! Channels: `private` (default), `shared-fcfs`, `shared-fq`.
+
+use std::process::ExitCode;
+
+use vpc::prelude::*;
+use vpc_mem::ChannelMode;
+use vpc_workloads::SPEC_NAMES;
+
+#[derive(Debug)]
+struct Args {
+    workloads: Vec<WorkloadSpec>,
+    arbiter: String,
+    shares: Vec<Share>,
+    banks: usize,
+    warmup: u64,
+    cycles: u64,
+    channels: String,
+    lru_capacity: bool,
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadSpec, String> {
+    match name {
+        "Loads" | "loads" => Ok(WorkloadSpec::Loads),
+        "Stores" | "stores" => Ok(WorkloadSpec::Stores),
+        "idle" => Ok(WorkloadSpec::Idle),
+        other => SPEC_NAMES
+            .iter()
+            .find(|&&b| b == other)
+            .map(|&b| WorkloadSpec::Spec(b))
+            .ok_or_else(|| format!("unknown workload {other:?} (SPEC names, Loads, Stores, idle)")),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workloads: vec![
+            WorkloadSpec::Spec("art"),
+            WorkloadSpec::Spec("mcf"),
+            WorkloadSpec::Spec("gcc"),
+            WorkloadSpec::Spec("gzip"),
+        ],
+        arbiter: "vpc".into(),
+        shares: Vec::new(),
+        banks: 2,
+        warmup: 50_000,
+        cycles: 200_000,
+        channels: "private".into(),
+        lru_capacity: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workloads" => {
+                args.workloads = value("--workloads")?
+                    .split(',')
+                    .map(parse_workload)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--arbiter" => args.arbiter = value("--arbiter")?,
+            "--shares" => {
+                args.shares = value("--shares")?
+                    .split(',')
+                    .map(|s| s.parse::<Share>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--banks" => {
+                args.banks = value("--banks")?.parse().map_err(|e| format!("--banks: {e}"))?;
+            }
+            "--warmup" => {
+                args.warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--cycles" => {
+                args.cycles = value("--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--channels" => args.channels = value("--channels")?,
+            "--lru-capacity" => args.lru_capacity = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: simulate [--workloads a,b,c,d] [--arbiter fcfs|row|rr|vpc|drr|sfq]\n\
+                     \x20               [--shares p/q,...] [--banks N] [--warmup N] [--cycles N]\n\
+                     \x20               [--channels private|shared-fcfs|shared-fq] [--lru-capacity]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.shares.is_empty() {
+        let n = args.workloads.len() as u32;
+        args.shares = vec![Share::new(1, n).map_err(|e| e.to_string())?; n as usize];
+    }
+    if args.shares.len() != args.workloads.len() {
+        return Err("need exactly one share per workload".into());
+    }
+    Ok(args)
+}
+
+fn build_arbiter(args: &Args) -> Result<ArbiterPolicy, String> {
+    let shares = args.shares.clone();
+    Ok(match args.arbiter.as_str() {
+        "fcfs" => ArbiterPolicy::Fcfs,
+        "row" => ArbiterPolicy::RowFcfs,
+        "rr" => ArbiterPolicy::RoundRobin,
+        "vpc" => ArbiterPolicy::Vpc { shares, order: IntraThreadOrder::ReadOverWrite },
+        "drr" => ArbiterPolicy::Drr { shares },
+        "sfq" => ArbiterPolicy::Sfq { shares },
+        other => return Err(format!("unknown arbiter {other:?}")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let threads = args.workloads.len();
+    if threads == 0 || threads > 8 {
+        return Err("1 to 8 workloads required".into());
+    }
+
+    let mut cfg = CmpConfig::table1_with_threads(threads).with_banks(args.banks);
+    cfg.l2.arbiter = build_arbiter(&args)?;
+    cfg.l2.capacity = if args.lru_capacity {
+        CapacityPolicy::Lru
+    } else {
+        CapacityPolicy::Vpc { shares: args.shares.clone() }
+    };
+    cfg.channels = match args.channels.as_str() {
+        "private" => ChannelMode::PerThread,
+        "shared-fcfs" => ChannelMode::SharedFcfs,
+        "shared-fq" => ChannelMode::SharedFq { shares: args.shares.clone() },
+        other => return Err(format!("unknown channel mode {other:?}")),
+    };
+
+    let base = CmpConfig::table1_with_threads(threads).with_banks(args.banks);
+    let mut sys = CmpSystem::new(cfg, &args.workloads);
+    sys.run(args.warmup);
+    let snap = sys.snapshot();
+    sys.run(args.cycles);
+    let m = sys.measure(&snap);
+
+    println!(
+        "== simulate: {} threads, {} banks, arbiter {}, channels {} ==",
+        threads, args.banks, args.arbiter, args.channels
+    );
+    println!(
+        "{:<10} {:>7} {:>8} {:>8} {:>9} {:>12} {:>10}",
+        "thread", "share", "IPC", "target", "IPC/tgt", "L2 lat mean", "gathering"
+    );
+    for (i, w) in args.workloads.iter().enumerate() {
+        let thread = ThreadId(i as u8);
+        let target = if args.shares[i].is_zero() {
+            0.0
+        } else {
+            target_ipc(&base, *w, args.shares[i], args.shares[i], args.warmup, args.cycles)
+        };
+        let hist = sys.l2().read_latency(thread);
+        let norm = if target > 0.0 { m.ipc[i] / target } else { f64::NAN };
+        println!(
+            "{:<10} {:>7} {:>8.3} {:>8.3} {:>9.3} {:>12.1} {:>9.1}%",
+            w.name(),
+            args.shares[i].to_string(),
+            m.ipc[i],
+            target,
+            norm,
+            hist.mean(),
+            m.gathering_rate[i] * 100.0,
+        );
+    }
+    println!(
+        "utilization: data {:.1}%  bus {:.1}%  tag {:.1}%",
+        m.util.data_array * 100.0,
+        m.util.data_bus * 100.0,
+        m.util.tag_array * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

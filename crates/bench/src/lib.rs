@@ -1,0 +1,47 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every binary accepts `--quick` (or the `VPC_QUICK=1` environment
+//! variable) to run with short simulation windows, and prints the same
+//! rows/series as the corresponding figure or table of the paper.
+//! Reproduction notes for each experiment live in `EXPERIMENTS.md` at the
+//! repository root.
+
+use vpc::experiments::RunBudget;
+
+/// Parses the standard CLI: `--quick` selects short windows.
+pub fn budget_from_args() -> RunBudget {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("VPC_QUICK").is_ok_and(|v| v == "1");
+    if quick {
+        RunBudget::quick()
+    } else {
+        RunBudget::standard()
+    }
+}
+
+/// Whether `--json` was passed (machine-readable output).
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str, budget: RunBudget) {
+    println!("== {title} ==");
+    println!("(warmup {} cycles, measured {} cycles)", budget.warmup, budget.window);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_selection_follows_env() {
+        // One test covers both states: the process environment is shared
+        // across tests, so mutate-and-restore must not race another test.
+        std::env::remove_var("VPC_QUICK");
+        assert_eq!(budget_from_args(), RunBudget::standard());
+        std::env::set_var("VPC_QUICK", "1");
+        assert_eq!(budget_from_args(), RunBudget::quick());
+        std::env::remove_var("VPC_QUICK");
+    }
+}

@@ -1,0 +1,500 @@
+//! Per-thread bank port: input queue, load queue, and store gathering
+//! buffer (§3.1).
+//!
+//! Within a cache bank, each processor owns a store gathering buffer.
+//! Incoming stores merge with pending stores to the same line; loads bypass
+//! stores (read-over-write) after a dependence check. A load hitting a
+//! pending store's line triggers a *partial flush*: the conflicting store
+//! and all older stores retire to the L2 before the load proceeds. When
+//! occupancy reaches the high-water mark `n` the buffer retires stores and
+//! loads stop bypassing (RoW inversion) until occupancy falls below `n`
+//! (the *retire-at-n* policy).
+
+use std::collections::VecDeque;
+
+use vpc_sim::{CacheRequest, Counter, Cycle, LineAddr};
+
+/// One gathered store entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SgbEntry {
+    line: LineAddr,
+    /// Original request token of the first store gathered into the entry.
+    token: u64,
+    /// Entry must retire before any load bypasses (partial flush marker).
+    flush: bool,
+}
+
+/// Statistics the paper's Figure 7 reports per benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SgbStats {
+    /// Stores that arrived at the buffer.
+    pub stores_in: Counter,
+    /// Stores merged into an existing entry (gathered: no separate L2
+    /// access needed).
+    pub stores_gathered: Counter,
+    /// Write requests retired to the L2 (after gathering).
+    pub writes_out: Counter,
+    /// Loads passed to the L2.
+    pub loads_out: Counter,
+    /// Partial flushes triggered by load-store line conflicts.
+    pub partial_flushes: Counter,
+}
+
+impl SgbStats {
+    /// Fraction of stores gathered with other stores (Figure 7's
+    /// "store gathering rate").
+    pub fn gathering_rate(&self) -> f64 {
+        self.stores_gathered.fraction_of(self.stores_in.get())
+    }
+}
+
+/// A request the port is ready to hand to the bank controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortCandidate {
+    /// The request (writes carry the token of their first gathered store).
+    pub request: CacheRequest,
+    /// True if this request came from the store gathering buffer.
+    pub is_store_retire: bool,
+}
+
+/// The per-thread, per-bank request port.
+#[derive(Debug)]
+pub struct ThreadPort {
+    /// Owning hardware thread.
+    thread: vpc_sim::ThreadId,
+    /// In-order arrivals from the interconnect, awaiting intake.
+    in_q: VecDeque<(Cycle, CacheRequest)>,
+    /// Loads ready for (or awaiting) controller selection.
+    loads: VecDeque<CacheRequest>,
+    /// Gathered stores, oldest first.
+    sgb: VecDeque<SgbEntry>,
+    capacity: usize,
+    retire_at: usize,
+    idle_drain: Option<u64>,
+    /// Last cycle a store entered or retired (for idle draining).
+    last_store_activity: Cycle,
+    stats: SgbStats,
+}
+
+impl ThreadPort {
+    /// Creates an empty port for `thread` with an SGB of `capacity` entries
+    /// that begins retiring at `retire_at` occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < retire_at <= capacity`.
+    pub fn new(
+        thread: vpc_sim::ThreadId,
+        capacity: usize,
+        retire_at: usize,
+        idle_drain: Option<u64>,
+    ) -> ThreadPort {
+        assert!(retire_at > 0 && retire_at <= capacity, "retire-at must be in 1..=capacity");
+        ThreadPort {
+            thread,
+            in_q: VecDeque::new(),
+            loads: VecDeque::new(),
+            sgb: VecDeque::new(),
+            capacity,
+            retire_at,
+            idle_drain,
+            last_store_activity: 0,
+            stats: SgbStats::default(),
+        }
+    }
+
+    /// Requests buffered in the input queue (for crossbar port credits).
+    pub fn input_occupancy(&self) -> usize {
+        self.in_q.len()
+    }
+
+    /// Total requests anywhere in the port.
+    pub fn is_empty(&self) -> bool {
+        self.in_q.is_empty() && self.loads.is_empty() && self.sgb.is_empty()
+    }
+
+    /// Accepts a request from the interconnect, to be processed once
+    /// `ready_at` passes.
+    pub fn push(&mut self, ready_at: Cycle, request: CacheRequest) {
+        self.in_q.push_back((ready_at, request));
+    }
+
+    /// Moves arrived input-queue requests into the load queue / SGB, in
+    /// order. Stops at a store that cannot allocate an SGB entry.
+    pub fn pump(&mut self, now: Cycle) {
+        while let Some(&(ready_at, req)) = self.in_q.front() {
+            if ready_at > now {
+                break;
+            }
+            if req.kind.is_read() {
+                self.loads.push_back(req);
+                self.in_q.pop_front();
+                continue;
+            }
+            if self.sgb.iter().any(|e| e.line == req.line) {
+                // Gathered: merged into an existing entry.
+                self.stats.stores_in.inc();
+                self.stats.stores_gathered.inc();
+                self.last_store_activity = now;
+                self.in_q.pop_front();
+            } else if self.sgb.len() < self.capacity {
+                self.stats.stores_in.inc();
+                self.last_store_activity = now;
+                self.sgb.push_back(SgbEntry { line: req.line, token: req.token, flush: false });
+                self.in_q.pop_front();
+            } else {
+                // SGB full: head-of-line stall until a store retires.
+                break;
+            }
+        }
+    }
+
+    /// Whether loads are currently prevented from bypassing stores
+    /// (occupancy at/above the high-water mark, or a partial flush is in
+    /// progress).
+    pub fn row_inverted(&self) -> bool {
+        self.sgb.len() >= self.retire_at || self.sgb.iter().any(|e| e.flush)
+    }
+
+    /// The request this port would present to the bank controller at `now`,
+    /// without removing it.
+    pub fn peek_candidate(&mut self, now: Cycle) -> Option<PortCandidate> {
+        // Partial-flush and high-water store retirement take priority.
+        if self.row_inverted() {
+            return self.oldest_store();
+        }
+        if let Some(&load) = self.loads.front() {
+            // Read-over-write dependence check: a load to a gathered
+            // store's line forces a partial flush of that entry and all
+            // older entries.
+            if let Some(pos) = self.sgb.iter().position(|e| e.line == load.line) {
+                for e in self.sgb.iter_mut().take(pos + 1) {
+                    e.flush = true;
+                }
+                self.stats.partial_flushes.inc();
+                return self.oldest_store();
+            }
+            return Some(PortCandidate { request: load, is_store_retire: false });
+        }
+        // No loads pending: drain quiescent stores if configured.
+        if let Some(timeout) = self.idle_drain {
+            if !self.sgb.is_empty() && now.saturating_sub(self.last_store_activity) >= timeout {
+                return self.oldest_store();
+            }
+        }
+        None
+    }
+
+    fn oldest_store(&self) -> Option<PortCandidate> {
+        self.sgb.front().map(|e| PortCandidate {
+            request: CacheRequest {
+                thread: self.thread,
+                line: e.line,
+                kind: vpc_sim::AccessKind::Write,
+                token: e.token,
+            },
+            is_store_retire: true,
+        })
+    }
+
+    /// Removes the candidate previously returned by
+    /// [`ThreadPort::peek_candidate`] once the controller accepted it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port has no matching request.
+    pub fn take_candidate(&mut self, candidate: &PortCandidate, now: Cycle) {
+        if candidate.is_store_retire {
+            let e = self.sgb.pop_front().expect("store retire candidate exists");
+            assert_eq!(e.line, candidate.request.line, "retired store mismatch");
+            self.stats.writes_out.inc();
+            self.last_store_activity = now;
+        } else {
+            let l = self.loads.pop_front().expect("load candidate exists");
+            assert_eq!(l.line, candidate.request.line, "load candidate mismatch");
+            self.stats.loads_out.inc();
+        }
+    }
+
+    /// SGB occupancy.
+    pub fn sgb_occupancy(&self) -> usize {
+        self.sgb.len()
+    }
+
+    /// Port statistics.
+    pub fn stats(&self) -> SgbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpc_sim::{AccessKind, ThreadId};
+
+    fn store(line: u64, token: u64) -> CacheRequest {
+        CacheRequest { thread: ThreadId(0), line: LineAddr(line), kind: AccessKind::Write, token }
+    }
+
+    fn load(line: u64, token: u64) -> CacheRequest {
+        CacheRequest { thread: ThreadId(0), line: LineAddr(line), kind: AccessKind::Read, token }
+    }
+
+    fn port() -> ThreadPort {
+        ThreadPort::new(ThreadId(0), 8, 6, None)
+    }
+
+    #[test]
+    fn stores_gather_to_same_line() {
+        let mut p = port();
+        for t in 0..4 {
+            p.push(0, store(5, t));
+        }
+        p.pump(0);
+        assert_eq!(p.sgb_occupancy(), 1);
+        assert_eq!(p.stats().stores_in.get(), 4);
+        assert_eq!(p.stats().stores_gathered.get(), 3);
+        assert!((p.stats().gathering_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_bypass_unrelated_stores() {
+        let mut p = port();
+        p.push(0, store(1, 0));
+        p.push(0, load(2, 1));
+        p.pump(0);
+        let c = p.peek_candidate(0).unwrap();
+        assert!(!c.is_store_retire, "load bypasses the gathered store");
+        assert_eq!(c.request.line, LineAddr(2));
+    }
+
+    #[test]
+    fn conflicting_load_triggers_partial_flush() {
+        let mut p = port();
+        p.push(0, store(1, 10));
+        p.push(0, store(2, 11));
+        p.push(0, store(3, 12));
+        p.push(0, load(2, 1));
+        p.pump(0);
+        // Load to line 2 conflicts with the second store: stores 1 and 2
+        // must retire first; store 3 may stay gathered.
+        let c1 = p.peek_candidate(0).unwrap();
+        assert!(c1.is_store_retire);
+        assert_eq!(c1.request.line, LineAddr(1));
+        p.take_candidate(&c1, 0);
+        let c2 = p.peek_candidate(0).unwrap();
+        assert!(c2.is_store_retire);
+        assert_eq!(c2.request.line, LineAddr(2));
+        p.take_candidate(&c2, 0);
+        let c3 = p.peek_candidate(0).unwrap();
+        assert!(!c3.is_store_retire, "load proceeds after the flush");
+        assert_eq!(c3.request.line, LineAddr(2));
+        assert_eq!(p.sgb_occupancy(), 1, "younger store still gathered");
+        assert_eq!(p.stats().partial_flushes.get(), 1);
+    }
+
+    #[test]
+    fn high_water_mark_inverts_row() {
+        let mut p = port();
+        for i in 0..6 {
+            p.push(0, store(i, i));
+        }
+        p.push(0, load(100, 1));
+        p.pump(0);
+        assert!(p.row_inverted());
+        let c = p.peek_candidate(0).unwrap();
+        assert!(c.is_store_retire, "retire-at-6 drains stores before loads");
+        p.take_candidate(&c, 0);
+        assert_eq!(p.sgb_occupancy(), 5);
+        let c = p.peek_candidate(0).unwrap();
+        assert!(!c.is_store_retire, "below high water, loads bypass again");
+    }
+
+    #[test]
+    fn full_sgb_stalls_input_queue() {
+        let mut p = port();
+        for i in 0..8 {
+            p.push(0, store(i, i));
+        }
+        // While row-inverted (8 >= 6) the controller drains; but without
+        // draining, a 9th store and a following load stall in order.
+        p.push(0, store(100, 8));
+        p.push(0, load(200, 9));
+        p.pump(0);
+        assert_eq!(p.sgb_occupancy(), 8);
+        assert_eq!(p.input_occupancy(), 2, "store 100 and load 200 wait in order");
+        assert_eq!(p.stats().stores_in.get(), 8, "stalled store not counted yet");
+        // Drain one store; the stalled store and load then flow in.
+        let c = p.peek_candidate(0).unwrap();
+        p.take_candidate(&c, 0);
+        p.pump(0);
+        assert_eq!(p.sgb_occupancy(), 8);
+        assert_eq!(p.input_occupancy(), 0);
+    }
+
+    #[test]
+    fn idle_drain_retires_quiescent_stores() {
+        let mut p = ThreadPort::new(ThreadId(0), 8, 6, Some(100));
+        p.push(0, store(1, 0));
+        p.pump(0);
+        assert!(p.peek_candidate(50).is_none(), "below high water, no drain yet");
+        let c = p.peek_candidate(150).unwrap();
+        assert!(c.is_store_retire, "idle drain after timeout");
+    }
+
+    #[test]
+    fn no_idle_drain_parks_stores() {
+        let mut p = port();
+        p.push(0, store(1, 0));
+        p.pump(0);
+        assert!(p.peek_candidate(1_000_000).is_none());
+    }
+
+    #[test]
+    fn pump_respects_ready_time() {
+        let mut p = port();
+        p.push(10, load(1, 0));
+        p.pump(5);
+        assert!(p.peek_candidate(5).is_none());
+        p.pump(10);
+        assert!(p.peek_candidate(10).is_some());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vpc_sim::{AccessKind, SplitMix64, ThreadId};
+
+    /// A reference model of the architectural ordering rules: the sequence
+    /// of requests leaving the port must (a) retire stores in arrival
+    /// order, (b) never let a load pass an *older conflicting* store, and
+    /// (c) deliver every distinct-line store exactly once.
+    #[derive(Default)]
+    struct OrderChecker {
+        /// Arrival index of each store line still gathered.
+        pending_stores: Vec<(LineAddr, usize)>,
+        next_idx: usize,
+        last_store_retired: Option<usize>,
+    }
+
+    impl OrderChecker {
+        fn on_store_arrival(&mut self, line: LineAddr) {
+            if !self.pending_stores.iter().any(|&(l, _)| l == line) {
+                self.pending_stores.push((line, self.next_idx));
+            }
+            self.next_idx += 1;
+        }
+
+        fn on_store_retire(&mut self, line: LineAddr) -> Result<(), String> {
+            let pos = self
+                .pending_stores
+                .iter()
+                .position(|&(l, _)| l == line)
+                .ok_or_else(|| format!("retired store {line} was never gathered"))?;
+            let (_, idx) = self.pending_stores.remove(pos);
+            if let Some(last) = self.last_store_retired {
+                if idx < last {
+                    // Entries are FIFO by first-arrival; a smaller index
+                    // after a larger one would mean reordered retirement.
+                    return Err(format!("store {line} retired out of order"));
+                }
+            }
+            self.last_store_retired = Some(idx);
+            Ok(())
+        }
+
+        fn on_load_out(&mut self, line: LineAddr) -> Result<(), String> {
+            if self.pending_stores.iter().any(|&(l, _)| l == line) {
+                return Err(format!("load to {line} bypassed a pending store to the same line"));
+            }
+            Ok(())
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random load/store arrivals with random controller acceptance:
+        /// stores retire in first-arrival order, loads never pass an older
+        /// same-line store, and no request is lost.
+        #[test]
+        fn port_preserves_architectural_order(seed in any::<u64>()) {
+            let mut rng = SplitMix64::new(seed);
+            let mut port = ThreadPort::new(ThreadId(0), 8, 6, Some(300));
+            let mut checker = OrderChecker::default();
+            let mut token = 0u64;
+            let mut loads_in = 0u64;
+
+            for now in 0..3000u64 {
+                // Random arrivals.
+                if rng.chance(0.3) {
+                    let line = LineAddr(rng.below(12));
+                    let is_store = rng.chance(0.5);
+                    token += 1;
+                    let kind = if is_store { AccessKind::Write } else { AccessKind::Read };
+                    port.push(now, CacheRequest { thread: ThreadId(0), line, kind, token });
+                }
+                port.pump(now);
+                // Mirror newly-absorbed stores into the checker before any
+                // retirement can happen this iteration (SGB queue order ==
+                // absorption order).
+                for line in port_snapshot(&port) {
+                    if !checker.pending_stores.iter().any(|&(l, _)| l == line) {
+                        checker.on_store_arrival(line);
+                    }
+                }
+                // Random controller acceptance.
+                if rng.chance(0.5) {
+                    if let Some(c) = port.peek_candidate(now) {
+                        port.take_candidate(&c, now);
+                        if c.is_store_retire {
+                            checker.on_store_retire(c.request.line).map_err(|e| {
+                                TestCaseError::fail(e)
+                            })?;
+                        } else {
+                            loads_in += 1;
+                            checker.on_load_out(c.request.line).map_err(|e| {
+                                TestCaseError::fail(e)
+                            })?;
+                        }
+                    }
+                }
+            }
+            // Everything eventually drains via idle-drain.
+            let mut now = 3000u64;
+            while !port.is_empty() && now < 40_000 {
+                port.pump(now);
+                for line in port_snapshot(&port) {
+                    if !checker.pending_stores.iter().any(|&(l, _)| l == line) {
+                        checker.on_store_arrival(line);
+                    }
+                }
+                if let Some(c) = port.peek_candidate(now) {
+                    port.take_candidate(&c, now);
+                    if c.is_store_retire {
+                        checker.on_store_retire(c.request.line).map_err(TestCaseError::fail)?;
+                    } else {
+                        loads_in += 1;
+                        checker.on_load_out(c.request.line).map_err(TestCaseError::fail)?;
+                    }
+                }
+                now += 1;
+            }
+            prop_assert!(port.is_empty(), "port must drain");
+            prop_assert!(checker.pending_stores.is_empty(), "all gathered stores retired");
+            prop_assert_eq!(loads_in, port.stats().loads_out.get());
+            prop_assert_eq!(
+                port.stats().stores_in.get(),
+                port.stats().stores_gathered.get() + port.stats().writes_out.get(),
+                "every store either gathered into an entry or retired"
+            );
+        }
+    }
+
+    /// Lines currently gathered in the SGB, oldest first.
+    fn port_snapshot(port: &ThreadPort) -> Vec<LineAddr> {
+        port.sgb.iter().map(|e| e.line).collect()
+    }
+}

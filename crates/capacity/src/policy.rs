@@ -1,0 +1,374 @@
+//! Replacement policies, including the VPC Capacity Manager.
+
+use vpc_sim::{Share, ThreadId, MAX_THREADS};
+
+use crate::set::TagSet;
+
+/// Chooses a victim way in a full set.
+///
+/// Invalid ways are consumed by [`TagSet::find_way_for`] before the policy
+/// is consulted, so implementations may assume every way is valid.
+pub trait ReplacementPolicy: std::fmt::Debug {
+    /// Returns the way index to victimize for a fill by `requester`.
+    fn choose_victim(&self, set: &TagSet, requester: ThreadId) -> usize;
+
+    /// Reconfigures `thread`'s way quota, if this policy enforces quotas.
+    /// Returns `false` for quota-oblivious policies (plain LRU).
+    fn reconfigure_quota(&mut self, _thread: ThreadId, _ways: u32) -> bool {
+        false
+    }
+}
+
+/// Global true-LRU replacement: the baseline *shared* cache, with no
+/// inter-thread isolation — an aggressive thread can strip a neighbor's
+/// working set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrueLru;
+
+impl ReplacementPolicy for TrueLru {
+    fn choose_victim(&self, set: &TagSet, _requester: ThreadId) -> usize {
+        set.lru_way().expect("set is full when policy consulted")
+    }
+}
+
+/// How the VPC Capacity Manager's fairness refinement (§4.2.2) picks among
+/// multiple threads that all occupy more than their share of the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverQuotaTieBreak {
+    /// Victimize the globally least-recently-used line among all over-quota
+    /// threads' LRU candidates.
+    #[default]
+    GlobalLru,
+    /// Victimize the thread exceeding its quota by the largest number of
+    /// ways (ties broken toward the LRU line).
+    MostOverQuota,
+}
+
+/// The paper's VPC Capacity Manager (§4.2): way-quota thread-aware
+/// replacement.
+///
+/// Each thread `i` is guaranteed `alpha_i * ways` ways in every set. On a
+/// fill into a full set:
+///
+/// 1. if some *other* thread `j` occupies more than its quota, evict `j`'s
+///    LRU line (taking it cannot push `j` below its guarantee, and that line
+///    would not be resident in `j`'s equivalent private cache);
+/// 2. otherwise evict the requester's own LRU line — exactly what a private
+///    cache with `alpha_i` of the ways would do.
+#[derive(Debug, Clone)]
+pub struct VpcCapacityManager {
+    quotas: [u32; MAX_THREADS],
+    tie_break: OverQuotaTieBreak,
+}
+
+impl VpcCapacityManager {
+    /// Creates a manager with explicit per-thread way quotas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_THREADS`] quotas are given.
+    pub fn new(quotas: &[u32]) -> VpcCapacityManager {
+        assert!(quotas.len() <= MAX_THREADS, "at most {MAX_THREADS} threads supported");
+        let mut q = [0u32; MAX_THREADS];
+        q[..quotas.len()].copy_from_slice(quotas);
+        VpcCapacityManager { quotas: q, tie_break: OverQuotaTieBreak::default() }
+    }
+
+    /// Creates a manager from capacity shares `alpha_i` over `total_ways`
+    /// ways (quota `floor(alpha_i * ways)`, the guaranteed minimum).
+    pub fn from_shares(shares: &[Share], total_ways: u32) -> VpcCapacityManager {
+        let quotas: Vec<u32> = shares.iter().map(|s| s.of_ways(total_ways)).collect();
+        VpcCapacityManager::new(&quotas)
+    }
+
+    /// Equal quotas for `threads` threads over `total_ways` ways (the
+    /// evaluation's configuration: `alpha_i = 1/4`, no unallocated ways).
+    pub fn equal(threads: usize, total_ways: u32) -> VpcCapacityManager {
+        let share = Share::new(1, threads as u32).expect("1/threads is a valid share");
+        VpcCapacityManager::from_shares(&vec![share; threads], total_ways)
+    }
+
+    /// Selects the fairness refinement for distributing excess capacity.
+    pub fn with_tie_break(mut self, tie_break: OverQuotaTieBreak) -> VpcCapacityManager {
+        self.tie_break = tie_break;
+        self
+    }
+
+    /// The way quota guaranteed to `thread`.
+    pub fn quota(&self, thread: ThreadId) -> u32 {
+        self.quotas[thread.index()]
+    }
+
+    /// Sets `thread`'s way quota (system-software reconfiguration).
+    pub fn set_quota(&mut self, thread: ThreadId, ways: u32) {
+        self.quotas[thread.index()] = ways;
+    }
+}
+
+impl ReplacementPolicy for VpcCapacityManager {
+    fn reconfigure_quota(&mut self, thread: ThreadId, ways: u32) -> bool {
+        self.set_quota(thread, ways);
+        true
+    }
+
+    fn choose_victim(&self, set: &TagSet, requester: ThreadId) -> usize {
+        // Condition 1: LRU line of an over-quota thread other than the
+        // requester, refined by the fairness tie-break.
+        let mut candidate: Option<(usize, u64, i64)> = None; // (way, last_touch, over_by)
+        for t in 0..MAX_THREADS {
+            let thread = ThreadId(t as u8);
+            if thread == requester {
+                continue;
+            }
+            let occ = set.occupancy(thread) as i64;
+            let quota = i64::from(self.quotas[t]);
+            if occ > quota {
+                if let Some(way) = set.lru_of_thread(thread) {
+                    let touch = set.iter().find(|(i, _)| *i == way).map(|(_, w)| w.last_touch).unwrap_or(0);
+                    let over_by = occ - quota;
+                    let better = match (candidate, self.tie_break) {
+                        (None, _) => true,
+                        (Some((_, lt, _)), OverQuotaTieBreak::GlobalLru) => touch < lt,
+                        (Some((_, lt, ob)), OverQuotaTieBreak::MostOverQuota) => {
+                            over_by > ob || (over_by == ob && touch < lt)
+                        }
+                    };
+                    if better {
+                        candidate = Some((way, touch, over_by));
+                    }
+                }
+            }
+        }
+        if let Some((way, _, _)) = candidate {
+            return way;
+        }
+        // Condition 2: the requester's own LRU line. If the requester owns
+        // no line in the set (possible only when its quota is zero and no
+        // other thread exceeds its quota — e.g. unallocated ways absorbed
+        // exactly), fall back to the global LRU line.
+        set.lru_of_thread(requester)
+            .or_else(|| set.lru_way())
+            .expect("set is full when policy consulted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vpc_sim::{LineAddr, SplitMix64};
+
+    fn filled_set(entries: &[(u64, u8, u64)]) -> TagSet {
+        // (line, owner, last_touch)
+        let mut set = TagSet::new(entries.len());
+        for (way, &(line, owner, touch)) in entries.iter().enumerate() {
+            set.fill(way, LineAddr(line), ThreadId(owner), touch);
+        }
+        set
+    }
+
+    #[test]
+    fn true_lru_picks_oldest() {
+        let set = filled_set(&[(1, 0, 30), (2, 1, 10), (3, 0, 20)]);
+        assert_eq!(TrueLru.choose_victim(&set, ThreadId(0)), 1);
+    }
+
+    #[test]
+    fn condition1_evicts_over_quota_thread() {
+        // 4 ways, quotas [2, 2]. Thread 1 holds 3 ways (over quota).
+        let policy = VpcCapacityManager::new(&[2, 2]);
+        let set = filled_set(&[(1, 0, 5), (2, 1, 1), (3, 1, 2), (4, 1, 3)]);
+        let victim = policy.choose_victim(&set, ThreadId(0));
+        assert_eq!(set.owner(victim), Some(ThreadId(1)));
+        assert_eq!(victim, 1, "thread 1's LRU line");
+    }
+
+    #[test]
+    fn condition2_evicts_own_lru_when_no_one_over_quota() {
+        // 4 ways, quotas [2, 2], both threads exactly at quota.
+        let policy = VpcCapacityManager::new(&[2, 2]);
+        let set = filled_set(&[(1, 0, 5), (2, 0, 3), (3, 1, 1), (4, 1, 2)]);
+        let victim = policy.choose_victim(&set, ThreadId(0));
+        assert_eq!(victim, 1, "own LRU line, not thread 1's older lines");
+        assert_eq!(set.owner(victim), Some(ThreadId(0)));
+    }
+
+    #[test]
+    fn requester_over_quota_still_evicts_own_line() {
+        // Thread 0 over quota, thread 1 at quota: condition 1 does not apply
+        // (it only considers *other* threads), so thread 0 evicts its own LRU.
+        let policy = VpcCapacityManager::new(&[1, 3]);
+        let set = filled_set(&[(1, 0, 5), (2, 0, 3), (3, 1, 1), (4, 1, 2)]);
+        let victim = policy.choose_victim(&set, ThreadId(0));
+        assert_eq!(set.owner(victim), Some(ThreadId(0)));
+        assert_eq!(victim, 1);
+    }
+
+    #[test]
+    fn tie_break_global_lru() {
+        // Threads 1 and 2 both over quota; GlobalLru picks the older line.
+        let policy = VpcCapacityManager::new(&[2, 1, 1]).with_tie_break(OverQuotaTieBreak::GlobalLru);
+        let set = filled_set(&[(1, 1, 4), (2, 1, 8), (3, 2, 2), (4, 2, 6)]);
+        let victim = policy.choose_victim(&set, ThreadId(0));
+        assert_eq!(victim, 2, "thread 2's LRU (touch 2) is globally older than thread 1's (touch 4)");
+    }
+
+    #[test]
+    fn tie_break_most_over_quota() {
+        // Thread 1 over by 2, thread 2 over by 1: MostOverQuota picks thread 1.
+        let policy =
+            VpcCapacityManager::new(&[1, 1, 1]).with_tie_break(OverQuotaTieBreak::MostOverQuota);
+        let set = filled_set(&[(1, 1, 4), (2, 1, 8), (3, 1, 9), (4, 2, 2), (5, 2, 6)]);
+        let victim = policy.choose_victim(&set, ThreadId(0));
+        assert_eq!(set.owner(victim), Some(ThreadId(1)));
+        assert_eq!(victim, 0, "thread 1's LRU line");
+    }
+
+    #[test]
+    fn from_shares_computes_quotas() {
+        let policy = VpcCapacityManager::from_shares(
+            &[Share::new(1, 2).unwrap(), Share::new(1, 4).unwrap()],
+            32,
+        );
+        assert_eq!(policy.quota(ThreadId(0)), 16);
+        assert_eq!(policy.quota(ThreadId(1)), 8);
+        assert_eq!(policy.quota(ThreadId(2)), 0);
+    }
+
+    #[test]
+    fn equal_shares_cover_all_ways() {
+        let policy = VpcCapacityManager::equal(4, 32);
+        for t in 0..4 {
+            assert_eq!(policy.quota(ThreadId(t)), 8);
+        }
+    }
+
+    /// A reference private LRU cache set with `q` ways for one thread.
+    struct PrivateSet {
+        lines: Vec<(LineAddr, u64)>, // (line, last_touch)
+        ways: usize,
+    }
+
+    impl PrivateSet {
+        fn new(ways: usize) -> PrivateSet {
+            PrivateSet { lines: Vec::new(), ways }
+        }
+
+        fn access(&mut self, line: LineAddr, now: u64) -> bool {
+            if let Some(e) = self.lines.iter_mut().find(|(l, _)| *l == line) {
+                e.1 = now;
+                return true;
+            }
+            if self.lines.len() == self.ways {
+                let lru = self
+                    .lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                self.lines.swap_remove(lru);
+            }
+            self.lines.push((line, now));
+            false
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Isolation guarantee: under the VPC capacity manager, an insert by
+        /// thread j never evicts thread i's line while i is at or below its
+        /// quota (i != j).
+        #[test]
+        fn never_evicts_thread_at_or_below_quota(seed in any::<u64>()) {
+            let mut rng = SplitMix64::new(seed);
+            let ways = 8;
+            let policy = VpcCapacityManager::new(&[3, 3, 2]);
+            let mut set = TagSet::new(ways);
+            for now in 0..600u64 {
+                let t = ThreadId(rng.below(3) as u8);
+                let line = LineAddr(rng.below(32) + 1000 * u64::from(t.0));
+                if let Some(way) = set.lookup(line) {
+                    set.touch(way, now);
+                    continue;
+                }
+                let victim = set.find_way_for(line, t, &policy);
+                if let Some(owner) = set.owner(victim) {
+                    if owner != t {
+                        let occ = set.occupancy(owner);
+                        let quota = policy.quota(owner) as usize;
+                        prop_assert!(
+                            occ > quota,
+                            "evicted {owner} at occupancy {occ} <= quota {quota}"
+                        );
+                    }
+                }
+                set.fill(victim, line, t, now);
+            }
+        }
+
+        /// QoS inclusion: a thread's hits in the shared VPC-managed set are a
+        /// superset of its hits in a private set with quota ways — the "a VPC
+        /// performs at least as well as the equivalent real private cache"
+        /// property, at the capacity level.
+        #[test]
+        fn shared_vpc_hits_superset_of_private(seed in any::<u64>()) {
+            let mut rng = SplitMix64::new(seed);
+            let ways = 8;
+            let quotas = [4u32, 2, 2];
+            let policy = VpcCapacityManager::new(&quotas);
+            let mut shared = TagSet::new(ways);
+            let mut privates: Vec<PrivateSet> =
+                quotas.iter().map(|&q| PrivateSet::new(q as usize)).collect();
+            for now in 0..800u64 {
+                let t = rng.below(3) as usize;
+                let thread = ThreadId(t as u8);
+                // Disjoint address spaces per thread, as in the evaluation.
+                let line = LineAddr(rng.below(12) + 1000 * t as u64);
+                let private_hit = privates[t].access(line, now);
+                let shared_hit = shared.lookup(line).is_some();
+                prop_assert!(
+                    !private_hit || shared_hit,
+                    "line {line} hit in private cache but missed in shared VPC set"
+                );
+                match shared.lookup(line) {
+                    Some(way) => shared.touch(way, now),
+                    None => {
+                        let victim = shared.find_way_for(line, thread, &policy);
+                        shared.fill(victim, line, thread, now);
+                    }
+                }
+            }
+        }
+
+        /// With a single thread owning all ways, the VPC manager degenerates
+        /// to true LRU.
+        #[test]
+        fn single_thread_full_quota_is_lru(seed in any::<u64>()) {
+            let mut rng = SplitMix64::new(seed);
+            let ways = 4;
+            let policy = VpcCapacityManager::new(&[4]);
+            let mut vpc_set = TagSet::new(ways);
+            let mut lru_set = TagSet::new(ways);
+            for now in 0..300u64 {
+                let line = LineAddr(rng.below(10));
+                for (set, as_policy) in [
+                    (&mut vpc_set, &policy as &dyn ReplacementPolicy),
+                    (&mut lru_set, &TrueLru as &dyn ReplacementPolicy),
+                ] {
+                    match set.lookup(line) {
+                        Some(way) => set.touch(way, now),
+                        None => {
+                            let victim = set.find_way_for(line, ThreadId(0), as_policy);
+                            set.fill(victim, line, ThreadId(0), now);
+                        }
+                    }
+                }
+                let vpc_lines: Vec<_> = vpc_set.iter().map(|(_, w)| w.line).collect();
+                let lru_lines: Vec<_> = lru_set.iter().map(|(_, w)| w.line).collect();
+                prop_assert_eq!(vpc_lines, lru_lines);
+            }
+        }
+    }
+}

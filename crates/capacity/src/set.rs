@@ -1,0 +1,264 @@
+//! A set-associative cache set with per-line ownership and recency.
+
+use vpc_sim::{Cycle, LineAddr, ThreadId};
+
+use crate::policy::ReplacementPolicy;
+
+/// One way of a cache set: the resident line, the thread that owns it, its
+/// last-touch time (for LRU), and its dirty bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Way {
+    /// Resident line address.
+    pub line: LineAddr,
+    /// Thread that most recently brought in / wrote the line. The capacity
+    /// manager's quotas are enforced against this ownership.
+    pub owner: ThreadId,
+    /// Last access time, for LRU ordering.
+    pub last_touch: Cycle,
+    /// Whether the line holds data newer than memory.
+    pub dirty: bool,
+}
+
+/// The line displaced by a fill, if the victim way was valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Displaced line.
+    pub line: LineAddr,
+    /// Owner at eviction time.
+    pub owner: ThreadId,
+    /// Whether the line must be written back to memory.
+    pub dirty: bool,
+}
+
+/// One set of a set-associative cache.
+///
+/// The set stores per-way state; *which* way to victimize on a fill is
+/// delegated to a [`ReplacementPolicy`] (invalid ways are always used
+/// first).
+#[derive(Debug, Clone)]
+pub struct TagSet {
+    ways: Vec<Option<Way>>,
+}
+
+impl TagSet {
+    /// Creates an empty set with `associativity` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `associativity` is zero.
+    pub fn new(associativity: usize) -> TagSet {
+        assert!(associativity > 0, "associativity must be positive");
+        TagSet { ways: vec![None; associativity] }
+    }
+
+    /// Number of ways in the set.
+    pub fn associativity(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// Finds the way holding `line`, if resident.
+    pub fn lookup(&self, line: LineAddr) -> Option<usize> {
+        self.ways.iter().position(|w| w.is_some_and(|w| w.line == line))
+    }
+
+    /// Marks way `way` as touched at `now` (moves it to MRU position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid.
+    pub fn touch(&mut self, way: usize, now: Cycle) {
+        let w = self.ways[way].as_mut().expect("touched way must be valid");
+        w.last_touch = now;
+    }
+
+    /// Marks way `way` dirty (a store hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid.
+    pub fn mark_dirty(&mut self, way: usize) {
+        self.ways[way].as_mut().expect("dirtied way must be valid").dirty = true;
+    }
+
+    /// Chooses the way a fill by `requester` for `line` should use: the
+    /// first invalid way if any, otherwise the policy's victim.
+    pub fn find_way_for<P: ReplacementPolicy + ?Sized>(
+        &self,
+        _line: LineAddr,
+        requester: ThreadId,
+        policy: &P,
+    ) -> usize {
+        if let Some(idx) = self.ways.iter().position(Option::is_none) {
+            return idx;
+        }
+        let victim = policy.choose_victim(self, requester);
+        assert!(victim < self.ways.len(), "policy returned way out of range");
+        victim
+    }
+
+    /// Installs `line` (owned by `owner`, clean) into `way`, returning the
+    /// displaced line if the way was valid.
+    pub fn fill(&mut self, way: usize, line: LineAddr, owner: ThreadId, now: Cycle) -> Option<Eviction> {
+        let evicted = self.ways[way].map(|w| Eviction { line: w.line, owner: w.owner, dirty: w.dirty });
+        self.ways[way] = Some(Way { line, owner, last_touch: now, dirty: false });
+        evicted
+    }
+
+    /// Invalidates way `way` (used by tests and flush paths).
+    pub fn invalidate(&mut self, way: usize) -> Option<Eviction> {
+        self.ways[way]
+            .take()
+            .map(|w| Eviction { line: w.line, owner: w.owner, dirty: w.dirty })
+    }
+
+    /// The owner of way `way`, if valid.
+    pub fn owner(&self, way: usize) -> Option<ThreadId> {
+        self.ways[way].map(|w| w.owner)
+    }
+
+    /// Iterates over `(way_index, &Way)` for all valid ways.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Way)> {
+        self.ways.iter().enumerate().filter_map(|(i, w)| w.as_ref().map(|w| (i, w)))
+    }
+
+    /// How many valid ways `thread` owns in this set.
+    pub fn occupancy(&self, thread: ThreadId) -> usize {
+        self.iter().filter(|(_, w)| w.owner == thread).count()
+    }
+
+    /// Number of valid ways.
+    pub fn valid_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// The LRU way among valid ways owned by `thread`, if any.
+    pub fn lru_of_thread(&self, thread: ThreadId) -> Option<usize> {
+        self.iter()
+            .filter(|(_, w)| w.owner == thread)
+            .min_by_key(|(_, w)| w.last_touch)
+            .map(|(i, _)| i)
+    }
+
+    /// The globally LRU valid way, if any way is valid.
+    pub fn lru_way(&self) -> Option<usize> {
+        self.iter().min_by_key(|(_, w)| w.last_touch).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TrueLru;
+
+    #[test]
+    fn lookup_and_touch() {
+        let mut set = TagSet::new(2);
+        assert_eq!(set.lookup(LineAddr(1)), None);
+        set.fill(0, LineAddr(1), ThreadId(0), 10);
+        assert_eq!(set.lookup(LineAddr(1)), Some(0));
+        set.touch(0, 20);
+        assert_eq!(set.iter().next().unwrap().1.last_touch, 20);
+    }
+
+    #[test]
+    fn fill_prefers_invalid_ways() {
+        let set = {
+            let mut s = TagSet::new(4);
+            s.fill(0, LineAddr(1), ThreadId(0), 0);
+            s
+        };
+        let way = set.find_way_for(LineAddr(2), ThreadId(0), &TrueLru);
+        assert_eq!(way, 1, "first invalid way used before any eviction");
+    }
+
+    #[test]
+    fn fill_reports_eviction() {
+        let mut set = TagSet::new(1);
+        assert!(set.fill(0, LineAddr(1), ThreadId(0), 0).is_none());
+        set.mark_dirty(0);
+        let ev = set.fill(0, LineAddr(2), ThreadId(1), 1).unwrap();
+        assert_eq!(ev.line, LineAddr(1));
+        assert_eq!(ev.owner, ThreadId(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn occupancy_counts_per_thread() {
+        let mut set = TagSet::new(4);
+        set.fill(0, LineAddr(1), ThreadId(0), 0);
+        set.fill(1, LineAddr(2), ThreadId(0), 1);
+        set.fill(2, LineAddr(3), ThreadId(1), 2);
+        assert_eq!(set.occupancy(ThreadId(0)), 2);
+        assert_eq!(set.occupancy(ThreadId(1)), 1);
+        assert_eq!(set.occupancy(ThreadId(2)), 0);
+        assert_eq!(set.valid_count(), 3);
+    }
+
+    #[test]
+    fn lru_helpers() {
+        let mut set = TagSet::new(3);
+        set.fill(0, LineAddr(1), ThreadId(0), 5);
+        set.fill(1, LineAddr(2), ThreadId(0), 3);
+        set.fill(2, LineAddr(3), ThreadId(1), 1);
+        assert_eq!(set.lru_way(), Some(2));
+        assert_eq!(set.lru_of_thread(ThreadId(0)), Some(1));
+        assert_eq!(set.lru_of_thread(ThreadId(2)), None);
+    }
+
+    #[test]
+    fn invalidate_clears_way() {
+        let mut set = TagSet::new(2);
+        set.fill(0, LineAddr(1), ThreadId(0), 0);
+        let ev = set.invalidate(0).unwrap();
+        assert_eq!(ev.line, LineAddr(1));
+        assert_eq!(set.valid_count(), 0);
+        assert!(set.invalidate(0).is_none());
+    }
+}
+
+#[cfg(test)]
+mod inclusion_tests {
+    use super::*;
+    use crate::policy::TrueLru;
+    use proptest::prelude::*;
+    use vpc_sim::SplitMix64;
+
+    /// Runs an access trace through an LRU set of the given associativity
+    /// and returns, per access, whether it hit.
+    fn run_lru(trace: &[u64], ways: usize) -> Vec<bool> {
+        let mut set = TagSet::new(ways);
+        let mut hits = Vec::with_capacity(trace.len());
+        for (now, &line) in trace.iter().enumerate() {
+            let line = LineAddr(line);
+            match set.lookup(line) {
+                Some(way) => {
+                    set.touch(way, now as u64);
+                    hits.push(true);
+                }
+                None => {
+                    let way = set.find_way_for(line, ThreadId(0), &TrueLru);
+                    set.fill(way, line, ThreadId(0), now as u64);
+                    hits.push(false);
+                }
+            }
+        }
+        hits
+    }
+
+    proptest! {
+        /// The classic LRU stack (inclusion) property: every hit in a
+        /// k-way set is also a hit in a 2k-way set on the same trace —
+        /// the property that makes way partitioning performance-monotone
+        /// (paper §4.3).
+        #[test]
+        fn lru_inclusion_property(seed in any::<u64>(), ways in 1usize..=8) {
+            let mut rng = SplitMix64::new(seed);
+            let trace: Vec<u64> = (0..400).map(|_| rng.below(24)).collect();
+            let small = run_lru(&trace, ways);
+            let large = run_lru(&trace, ways * 2);
+            for (i, (&s, &l)) in small.iter().zip(large.iter()).enumerate() {
+                prop_assert!(!s || l, "access {i}: hit in {ways}-way but miss in {}-way", ways * 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 5: L2 cache utilization of the microbenchmarks vs. bank count.
+//!
+//! Loads and Stores each run alone on configurations with 2, 4, 8 and 16
+//! banks. The paper's shape: Loads fully utilizes two banks and reaches
+//! about 80% of four (its LMQ-limited load stream cannot feed more), while
+//! Stores — whose writes enter the L2 in order with ideal interleaving —
+//! fully utilizes the data arrays of as many as eight banks.
+
+use std::fmt;
+
+use crate::config::{CmpConfig, WorkloadSpec};
+use crate::experiments::{bar, pct, RunBudget};
+use crate::system::CmpSystem;
+use vpc_cache::L2Utilization;
+
+/// One bar group of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// "Loads" or "Stores".
+    pub benchmark: &'static str,
+    /// Number of L2 banks.
+    pub banks: usize,
+    /// Utilization of the three shared resources.
+    pub util: L2Utilization,
+}
+
+/// The full Figure 5 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Result {
+    /// One row per (benchmark, bank count).
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Result {
+    /// Finds a row.
+    pub fn row(&self, benchmark: &str, banks: usize) -> Option<&Fig5Row> {
+        self.rows.iter().find(|r| r.benchmark == benchmark && r.banks == banks)
+    }
+}
+
+impl fmt::Display for Fig5Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5: Microbenchmark L2 Cache Utilization")?;
+        writeln!(f, "{:<12} {:>6} {:>10} {:>10} {:>10}", "benchmark", "banks", "data", "bus", "tag")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>10} {:>10} {:>10}  {}",
+                format!("{} {}B", r.benchmark, r.banks),
+                r.banks,
+                pct(r.util.data_array),
+                pct(r.util.data_bus),
+                pct(r.util.tag_array),
+                bar(r.util.data_array, 24),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Figure 5 sweep.
+pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig5Result {
+    let mut rows = Vec::new();
+    for benchmark in [WorkloadSpec::Loads, WorkloadSpec::Stores] {
+        for banks in [2usize, 4, 8, 16] {
+            let mut cfg = base.clone().with_banks(banks);
+            cfg.processors = 1;
+            cfg.l2.threads = 1;
+            let mut sys = CmpSystem::new(cfg, &[benchmark]);
+            let m = sys.run_measured(budget.warmup, budget.window);
+            rows.push(Fig5Row { benchmark: benchmark.name(), banks, util: m.util });
+        }
+    }
+    Fig5Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbenchmark_scaling_matches_paper_shape() {
+        let mut base = CmpConfig::table1();
+        base.l2.total_sets = 2048;
+        let r = run(&base, RunBudget::quick());
+        let loads2 = r.row("Loads", 2).unwrap().util.data_array;
+        let loads4 = r.row("Loads", 4).unwrap().util.data_array;
+        let loads16 = r.row("Loads", 16).unwrap().util.data_array;
+        let stores8 = r.row("Stores", 8).unwrap().util.data_array;
+        let stores16 = r.row("Stores", 16).unwrap().util.data_array;
+
+        assert!(loads2 > 0.9, "Loads saturates 2 banks, got {loads2}");
+        assert!(loads4 > 0.5 && loads4 < 0.98, "Loads partially uses 4 banks, got {loads4}");
+        assert!(loads16 < 0.45, "Loads cannot feed 16 banks, got {loads16}");
+        assert!(stores8 > 0.75, "Stores scales to 8 banks, got {stores8}");
+        assert!(stores16 < stores8, "Stores cannot scale past 8 banks");
+        // Loads: data bus tracks data array (both 8 cycles per line).
+        let l2row = r.row("Loads", 2).unwrap();
+        assert!((l2row.util.data_array - l2row.util.data_bus).abs() < 0.12);
+        // Stores: no bus traffic (writes return nothing).
+        let s2 = r.row("Stores", 2).unwrap();
+        assert!(s2.util.data_bus < 0.1, "stores use no return bus: {:?}", s2.util);
+    }
+}

@@ -1,0 +1,183 @@
+//! Figure 8: the Loads and Stores microbenchmarks under each arbiter.
+//!
+//! Two threads — Loads on processor 1, Stores on processor 2 — run under
+//! RoW-FCFS, FCFS, and five VPC configurations (the label "VPC x%" gives
+//! the Stores thread `beta = x`, with the remainder to Loads). The paper's
+//! results: RoW-FCFS lets the load stream *starve* the stores entirely (a
+//! critical design flaw); FCFS splits the data array 67/33 in favor of
+//! stores (writes cost two accesses); and every VPC configuration gives
+//! each benchmark precisely its allocated bandwidth, meeting its target
+//! IPC.
+
+use std::fmt;
+
+use vpc_arbiters::ArbiterPolicy;
+use vpc_sim::Share;
+
+use crate::config::{CmpConfig, WorkloadSpec};
+use crate::experiments::{pct, RunBudget};
+use crate::system::CmpSystem;
+use crate::target::target_ipc;
+
+/// One x-axis point of Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Configuration label ("RoW", "FCFS", "VPC 25%", ...).
+    pub label: String,
+    /// Loads thread IPC.
+    pub loads_ipc: f64,
+    /// Stores thread IPC.
+    pub stores_ipc: f64,
+    /// Loads target IPC (private machine with its allocation; 0 under
+    /// non-VPC arbiters, which guarantee nothing).
+    pub loads_target: f64,
+    /// Stores target IPC.
+    pub stores_target: f64,
+    /// Data-array utilization attributable to the whole workload.
+    pub data_util: f64,
+}
+
+/// The Figure 8 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// One row per arbiter configuration.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl Fig8Result {
+    /// Finds a row by label.
+    pub fn row(&self, label: &str) -> Option<&Fig8Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+impl fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 8: Loads and Stores Microbenchmarks — IPC and Data Array Utilization")?;
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>12} {:>10} {:>13} {:>10}",
+            "arbiter", "Loads IPC", "Loads target", "Stores IPC", "Stores target", "data util"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>10.3} {:>12.3} {:>10.3} {:>13.3} {:>10}",
+                r.label,
+                r.loads_ipc,
+                r.loads_target,
+                r.stores_ipc,
+                r.stores_target,
+                pct(r.data_util),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn run_pair(base: &CmpConfig, arbiter: ArbiterPolicy, budget: RunBudget) -> (f64, f64, f64) {
+    let mut cfg = base.clone().with_arbiter(arbiter);
+    cfg.processors = 2;
+    cfg.l2.threads = 2;
+    cfg.l2.capacity = vpc_cache::CapacityPolicy::vpc_equal(2);
+    let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Loads, WorkloadSpec::Stores]);
+    let m = sys.run_measured(budget.warmup, budget.window);
+    (m.ipc[0], m.ipc[1], m.util.data_array)
+}
+
+/// Runs the Figure 8 sweep: RoW-FCFS, FCFS, and VPC with the Stores share
+/// at 0%, 25%, 50%, 75% and 100%.
+pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig8Result {
+    let mut rows = Vec::new();
+    let alpha = Share::new(1, 2).expect("two threads, equal ways");
+
+    for (label, arbiter) in [
+        ("RoW".to_string(), ArbiterPolicy::RowFcfs),
+        ("FCFS".to_string(), ArbiterPolicy::Fcfs),
+    ] {
+        let (loads_ipc, stores_ipc, data_util) = run_pair(base, arbiter, budget);
+        rows.push(Fig8Row {
+            label,
+            loads_ipc,
+            stores_ipc,
+            loads_target: 0.0,
+            stores_target: 0.0,
+            data_util,
+        });
+    }
+
+    for stores_pct in [0u32, 25, 50, 75, 100] {
+        let stores_share = Share::from_percent(stores_pct).expect("valid percent");
+        let loads_share = Share::from_percent(100 - stores_pct).expect("valid percent");
+        let arbiter = ArbiterPolicy::Vpc {
+            shares: vec![loads_share, stores_share],
+            order: vpc_arbiters::IntraThreadOrder::ReadOverWrite,
+        };
+        let (loads_ipc, stores_ipc, data_util) = run_pair(base, arbiter, budget);
+        rows.push(Fig8Row {
+            label: format!("VPC {stores_pct}%"),
+            loads_ipc,
+            stores_ipc,
+            loads_target: target_ipc(base, WorkloadSpec::Loads, loads_share, alpha, budget.warmup, budget.window),
+            stores_target: target_ipc(base, WorkloadSpec::Stores, stores_share, alpha, budget.warmup, budget.window),
+            data_util,
+        });
+    }
+    Fig8Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_base() -> CmpConfig {
+        let mut base = CmpConfig::table1_with_threads(2);
+        base.l2.total_sets = 2048;
+        base
+    }
+
+    #[test]
+    fn row_fcfs_starves_stores() {
+        let base = quick_base();
+        let (loads, stores, _) = run_pair(&base, ArbiterPolicy::RowFcfs, RunBudget::quick());
+        assert!(loads > 0.15, "Loads should run at full speed, got {loads}");
+        assert!(
+            stores < loads * 0.15,
+            "RoW-FCFS must starve stores: loads {loads}, stores {stores}"
+        );
+    }
+
+    #[test]
+    fn fcfs_lets_stores_dominate_data_array() {
+        // Uniform request interleaving + double-cost writes => stores get
+        // about 2/3 of the data-array bandwidth.
+        let base = quick_base();
+        let (loads, stores, util) = run_pair(&base, ArbiterPolicy::Fcfs, RunBudget::quick());
+        assert!(util > 0.85, "both streams keep the data array busy: {util}");
+        assert!(stores > 0.0 && loads > 0.0);
+        // Loads IPC under FCFS is well below its solo rate (~0.3).
+        assert!(loads < 0.25, "loads throttled by interleaved stores, got {loads}");
+    }
+
+    #[test]
+    fn vpc_meets_targets_at_50_50() {
+        let base = quick_base();
+        let budget = RunBudget::quick();
+        let half = Share::new(1, 2).unwrap();
+        let arbiter = ArbiterPolicy::Vpc {
+            shares: vec![half, half],
+            order: vpc_arbiters::IntraThreadOrder::ReadOverWrite,
+        };
+        let (loads, stores, _) = run_pair(&base, arbiter, budget);
+        let loads_target = target_ipc(&base, WorkloadSpec::Loads, half, half, budget.warmup, budget.window);
+        let stores_target = target_ipc(&base, WorkloadSpec::Stores, half, half, budget.warmup, budget.window);
+        assert!(
+            loads >= loads_target * 0.9,
+            "Loads must meet its target: got {loads}, target {loads_target}"
+        );
+        assert!(
+            stores >= stores_target * 0.9,
+            "Stores must meet its target: got {stores}, target {stores_target}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # Virtual Private Caches
+//!
+//! A reproduction of *Virtual Private Caches* (Nesbit, Laudon & Smith,
+//! ISCA 2007): microarchitecture mechanisms that give each thread sharing a
+//! CMP's L2 cache a guaranteed share of the cache's **bandwidth** (the VPC
+//! Arbiters, fair-queuing schedulers on the tag array, data array and data
+//! bus) and **capacity** (the VPC Capacity Manager, a way-quota replacement
+//! policy) — so that a thread allocated shares `(beta, alpha)` performs at
+//! least as well as it would on a real private machine with those
+//! resources, regardless of what other threads do.
+//!
+//! This crate assembles the full simulated system from the substrate
+//! crates and exposes the experiment harness that regenerates every table
+//! and figure of the paper's evaluation:
+//!
+//! * [`CmpConfig`] — the paper's Table 1 machine (4 cores @ 2 GHz, 16 MB
+//!   32-way 2-bank shared L2 at half core frequency, DDR2-800 with private
+//!   per-thread channels).
+//! * [`CmpSystem`] — cores + shared L2 + memory, with warm-up/measure
+//!   windows.
+//! * [`target_ipc`] — the QoS reference: the thread's IPC on the
+//!   equivalently-provisioned private machine (§5.3).
+//! * [`experiments`] — one runner per figure (5 through 10 plus the
+//!   ablations), each returning a typed, printable result.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vpc::prelude::*;
+//!
+//! // A 2-thread system: Loads vs Stores under VPC arbiters with a 75/25
+//! // bandwidth split (Figure 8's "VPC 25%" point).
+//! let shares = vec![Share::new(3, 4).unwrap(), Share::new(1, 4).unwrap()];
+//! let mut cfg = CmpConfig::table1_with_threads(2).with_vpc_shares(shares);
+//! cfg.l2.total_sets = 512; // doc-test sized
+//! let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Loads, WorkloadSpec::Stores]);
+//! let m = sys.run_measured(10_000, 20_000);
+//! assert!(m.ipc[0] > 0.0 && m.ipc[1] > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod system;
+pub mod target;
+pub mod vpm;
+
+pub use config::{CmpConfig, WorkloadSpec};
+pub use system::{CmpSystem, Measurement, Snapshot};
+pub use target::target_ipc;
+pub use vpm::{VpmAllocation, VpmConfig, VpmError};
+
+/// Convenient glob-import surface for examples and experiment binaries.
+pub mod prelude {
+    pub use crate::config::{CmpConfig, WorkloadSpec};
+    pub use crate::metrics::{harmonic_mean, improvement_pct, minimum, normalized_ipcs, weighted_speedup};
+    pub use crate::system::{CmpSystem, Measurement};
+    pub use crate::target::target_ipc;
+    pub use vpc_arbiters::{ArbiterPolicy, IntraThreadOrder};
+    pub use vpc_cache::CapacityPolicy;
+    pub use vpc_sim::{Share, ThreadId};
+}

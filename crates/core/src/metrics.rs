@@ -1,0 +1,71 @@
+//! Throughput and fairness metrics over normalized IPCs.
+
+pub use vpc_sim::stats::harmonic_mean;
+
+/// Per-thread normalized IPC: shared-machine IPC divided by the thread's
+/// standalone (full-machine) IPC. The paper's throughput metric is the
+/// harmonic mean of these; its fairness-sensitive metric is their minimum.
+pub fn normalized_ipcs(shared: &[f64], standalone: &[f64]) -> Vec<f64> {
+    assert_eq!(shared.len(), standalone.len(), "one standalone IPC per thread");
+    shared
+        .iter()
+        .zip(standalone)
+        .map(|(&s, &alone)| if alone <= 0.0 { 0.0 } else { s / alone })
+        .collect()
+}
+
+/// Weighted speedup: the sum of per-thread normalized IPCs — the CMP
+/// throughput metric complementary to the harmonic mean (it rewards total
+/// progress; the harmonic mean rewards *balanced* progress).
+pub fn weighted_speedup(normalized: &[f64]) -> f64 {
+    normalized.iter().sum()
+}
+
+/// The minimum of a slice (0 for empty slices).
+pub fn minimum(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Relative improvement `(new - old) / old`, in percent.
+pub fn improvement_pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let n = normalized_ipcs(&[0.5, 0.2], &[1.0, 0.4]);
+        assert_eq!(n, vec![0.5, 0.5]);
+        let n = normalized_ipcs(&[0.5], &[0.0]);
+        assert_eq!(n, vec![0.0]);
+    }
+
+    #[test]
+    fn weighted_speedup_sums() {
+        assert_eq!(weighted_speedup(&[0.5, 0.25, 1.0]), 1.75);
+        assert_eq!(weighted_speedup(&[]), 0.0);
+    }
+
+    #[test]
+    fn minimum_of_values() {
+        assert_eq!(minimum(&[0.7, 0.3, 0.9]), 0.3);
+        assert_eq!(minimum(&[]), 0.0);
+    }
+
+    #[test]
+    fn improvement() {
+        assert!((improvement_pct(0.5, 0.57) - 14.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(0.0, 1.0), 0.0);
+    }
+}

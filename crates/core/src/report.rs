@@ -1,0 +1,313 @@
+//! Machine-readable experiment reports.
+//!
+//! Each figure runner's typed result converts into a flat, serializable
+//! report so downstream tooling (plotting scripts, regression tracking)
+//! can consume `--json` output from the `vpc-bench` binaries.
+
+use serde::Serialize;
+
+use crate::experiments::{fig10, fig5, fig6, fig7, fig8, fig9};
+
+/// One utilization sample.
+#[derive(Debug, Clone, Serialize)]
+pub struct UtilizationReport {
+    /// Row label (benchmark, or "benchmark NB").
+    pub label: String,
+    /// Tag array utilization in `[0, 1]`.
+    pub tag_array: f64,
+    /// Data array utilization in `[0, 1]`.
+    pub data_array: f64,
+    /// Data bus utilization in `[0, 1]`.
+    pub data_bus: f64,
+}
+
+/// Figure 5 as a flat series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Report {
+    /// One entry per (benchmark, banks) point.
+    pub rows: Vec<UtilizationReport>,
+}
+
+impl From<&fig5::Fig5Result> for Fig5Report {
+    fn from(r: &fig5::Fig5Result) -> Self {
+        Fig5Report {
+            rows: r
+                .rows
+                .iter()
+                .map(|row| UtilizationReport {
+                    label: format!("{} {}B", row.benchmark, row.banks),
+                    tag_array: row.util.tag_array,
+                    data_array: row.util.data_array,
+                    data_bus: row.util.data_bus,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Figure 6 as a flat series (adds the solo IPC).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Report {
+    /// One entry per benchmark.
+    pub rows: Vec<Fig6RowReport>,
+    /// Mean data-array utilization (paper: ~26%).
+    pub mean_data_util: f64,
+}
+
+/// One Figure 6 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6RowReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Data array utilization.
+    pub data_array: f64,
+    /// Data bus utilization.
+    pub data_bus: f64,
+    /// Tag array utilization.
+    pub tag_array: f64,
+    /// Solo IPC.
+    pub ipc: f64,
+}
+
+impl From<&fig6::Fig6Result> for Fig6Report {
+    fn from(r: &fig6::Fig6Result) -> Self {
+        Fig6Report {
+            rows: r
+                .rows
+                .iter()
+                .map(|row| Fig6RowReport {
+                    benchmark: row.benchmark.to_string(),
+                    data_array: row.util.data_array,
+                    data_bus: row.util.data_bus,
+                    tag_array: row.util.tag_array,
+                    ipc: row.ipc,
+                })
+                .collect(),
+            mean_data_util: r.mean_data_util(),
+        }
+    }
+}
+
+/// Figure 7 as a flat series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Report {
+    /// One entry per benchmark: (name, write fraction, gathering rate).
+    pub rows: Vec<(String, f64, f64)>,
+    /// Mean write fraction (paper: ~55%).
+    pub mean_write_frac: f64,
+    /// Mean gathering rate (paper: ~80%).
+    pub mean_gathering: f64,
+}
+
+impl From<&fig7::Fig7Result> for Fig7Report {
+    fn from(r: &fig7::Fig7Result) -> Self {
+        Fig7Report {
+            rows: r
+                .rows
+                .iter()
+                .map(|row| (row.benchmark.to_string(), row.l2_write_frac, row.gathering_rate))
+                .collect(),
+            mean_write_frac: r.mean_write_frac(),
+            mean_gathering: r.mean_gathering(),
+        }
+    }
+}
+
+/// Figure 8 as a flat series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Report {
+    /// One entry per arbiter configuration.
+    pub rows: Vec<Fig8RowReport>,
+}
+
+/// One Figure 8 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8RowReport {
+    /// Arbiter label.
+    pub arbiter: String,
+    /// Loads IPC.
+    pub loads_ipc: f64,
+    /// Loads target IPC (0 for non-VPC arbiters).
+    pub loads_target: f64,
+    /// Stores IPC.
+    pub stores_ipc: f64,
+    /// Stores target IPC.
+    pub stores_target: f64,
+    /// Data-array utilization.
+    pub data_util: f64,
+}
+
+impl From<&fig8::Fig8Result> for Fig8Report {
+    fn from(r: &fig8::Fig8Result) -> Self {
+        Fig8Report {
+            rows: r
+                .rows
+                .iter()
+                .map(|row| Fig8RowReport {
+                    arbiter: row.label.clone(),
+                    loads_ipc: row.loads_ipc,
+                    loads_target: row.loads_target,
+                    stores_ipc: row.stores_ipc,
+                    stores_target: row.stores_target,
+                    data_util: row.data_util,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Figure 9 as a flat series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Report {
+    /// One entry per subject benchmark.
+    pub rows: Vec<Fig9RowReport>,
+    /// Fraction of subjects meeting every QoS target (5% slack).
+    pub qos_met_fraction: f64,
+}
+
+/// One Figure 9 row (all IPCs normalized to the beta=1 target).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9RowReport {
+    /// Subject benchmark.
+    pub benchmark: String,
+    /// Normalized IPC under FCFS.
+    pub fcfs: f64,
+    /// Normalized IPC at beta = 1/4.
+    pub vpc25: f64,
+    /// Normalized IPC at beta = 1/2.
+    pub vpc50: f64,
+    /// Normalized IPC at beta = 1.
+    pub vpc100: f64,
+    /// Normalized target at beta = 1/4.
+    pub target25: f64,
+    /// Normalized target at beta = 1/2.
+    pub target50: f64,
+    /// Subject's data-array utilization share under FCFS / VPC 25/50/100.
+    pub utils: [f64; 4],
+}
+
+impl From<&fig9::Fig9Result> for Fig9Report {
+    fn from(r: &fig9::Fig9Result) -> Self {
+        Fig9Report {
+            rows: r
+                .rows
+                .iter()
+                .map(|row| Fig9RowReport {
+                    benchmark: row.benchmark.to_string(),
+                    fcfs: row.fcfs_norm,
+                    vpc25: row.vpc25_norm,
+                    vpc50: row.vpc50_norm,
+                    vpc100: row.vpc100_norm,
+                    target25: row.target25_norm,
+                    target50: row.target50_norm,
+                    utils: [row.fcfs_util, row.vpc25_util, row.vpc50_util, row.vpc100_util],
+                })
+                .collect(),
+            qos_met_fraction: r.qos_met_fraction(0.05),
+        }
+    }
+}
+
+/// The headline experiment as a flat series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Report {
+    /// One entry per mix.
+    pub mixes: Vec<MixReport>,
+    /// Mean harmonic-mean improvement, percent (paper: ~14%).
+    pub hmean_improvement_pct: f64,
+    /// Mean minimum-normalized-IPC improvement, percent (paper: ~25%).
+    pub min_improvement_pct: f64,
+}
+
+/// One mix's numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct MixReport {
+    /// The four benchmarks.
+    pub mix: Vec<String>,
+    /// Target-normalized IPCs under FCFS.
+    pub fcfs_norm: Vec<f64>,
+    /// Target-normalized IPCs under VPC.
+    pub vpc_norm: Vec<f64>,
+}
+
+impl From<&fig10::Fig10Result> for Fig10Report {
+    fn from(r: &fig10::Fig10Result) -> Self {
+        Fig10Report {
+            mixes: r
+                .mixes
+                .iter()
+                .map(|m| MixReport {
+                    mix: m.mix.iter().map(|s| s.to_string()).collect(),
+                    fcfs_norm: m.fcfs_norm.clone(),
+                    vpc_norm: m.vpc_norm.clone(),
+                })
+                .collect(),
+            hmean_improvement_pct: r.hmean_improvement_pct(),
+            min_improvement_pct: r.min_improvement_pct(),
+        }
+    }
+}
+
+/// Serializes any report to pretty JSON.
+///
+/// # Panics
+///
+/// Panics if serialization fails, which cannot happen for the plain
+/// reports in this module.
+pub fn to_json<T: Serialize>(report: &T) -> String {
+    serde_json::to_string_pretty(report).expect("reports are plain data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpc_cache::L2Utilization;
+
+    #[test]
+    fn fig5_report_flattens_rows() {
+        let result = fig5::Fig5Result {
+            rows: vec![fig5::Fig5Row {
+                benchmark: "Loads",
+                banks: 2,
+                util: L2Utilization { tag_array: 0.5, data_array: 1.0, data_bus: 1.0 },
+            }],
+        };
+        let report = Fig5Report::from(&result);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].label, "Loads 2B");
+        assert_eq!(report.rows[0].data_array, 1.0);
+    }
+
+    #[test]
+    fn fig8_report_preserves_targets() {
+        let result = fig8::Fig8Result {
+            rows: vec![fig8::Fig8Row {
+                label: "VPC 50%".into(),
+                loads_ipc: 0.156,
+                stores_ipc: 0.078,
+                loads_target: 0.156,
+                stores_target: 0.078,
+                data_util: 1.0,
+            }],
+        };
+        let report = Fig8Report::from(&result);
+        assert_eq!(report.rows[0].arbiter, "VPC 50%");
+        assert_eq!(report.rows[0].loads_target, 0.156);
+    }
+
+    #[test]
+    fn fig10_report_carries_improvements() {
+        let result = fig10::Fig10Result {
+            mixes: vec![fig10::MixResult {
+                mix: ["a", "b", "c", "d"],
+                fcfs_norm: vec![1.0, 0.9, 1.1, 0.8],
+                vpc_norm: vec![1.0, 1.0, 1.1, 1.0],
+                fcfs_standalone: vec![0.5; 4],
+                vpc_standalone: vec![0.5; 4],
+            }],
+        };
+        let report = Fig10Report::from(&result);
+        assert!(report.min_improvement_pct > 0.0);
+        assert_eq!(report.mixes[0].mix, vec!["a", "b", "c", "d"]);
+    }
+}

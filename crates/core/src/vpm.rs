@@ -1,0 +1,219 @@
+//! Virtual Private Machines (paper §1.1): the system-software-facing
+//! resource abstraction.
+//!
+//! A VPM assigns each thread a pair of shares — `beta` for every shared
+//! bandwidth resource and `alpha` for cache ways. The VPC hardware exposes
+//! control registers that system software writes to (re)partition the
+//! machine; this module is that interface: it validates an allocation
+//! (no resource over-committed) and applies it to a running [`CmpSystem`]
+//! without disturbing in-flight requests — exactly what an OS scheduler
+//! would do at a context switch or policy change.
+//!
+//! ```
+//! use vpc::prelude::*;
+//! use vpc::vpm::{VpmAllocation, VpmConfig};
+//!
+//! // Figure 1b: one demanding VPM at 50%, three at 10%, 20% unallocated.
+//! let cfg = VpmConfig::new(vec![
+//!     VpmAllocation::symmetric(Share::new(1, 2).unwrap()),
+//!     VpmAllocation::symmetric(Share::new(1, 10).unwrap()),
+//!     VpmAllocation::symmetric(Share::new(1, 10).unwrap()),
+//!     VpmAllocation::symmetric(Share::new(1, 10).unwrap()),
+//! ]).unwrap();
+//! assert!(cfg.unallocated_bandwidth().as_f64() > 0.19);
+//! ```
+
+use std::fmt;
+
+use vpc_sim::{Share, ThreadId};
+
+use crate::system::CmpSystem;
+
+/// One VPM's resource allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpmAllocation {
+    /// Share of every shared bandwidth resource (tag array, data array,
+    /// data bus).
+    pub beta: Share,
+    /// Share of the cache ways.
+    pub alpha: Share,
+}
+
+impl VpmAllocation {
+    /// An allocation with the same share of bandwidth and capacity — the
+    /// common case the paper's evaluation uses.
+    pub fn symmetric(share: Share) -> VpmAllocation {
+        VpmAllocation { beta: share, alpha: share }
+    }
+}
+
+/// Error returned when a VPM configuration over-commits a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpmError {
+    /// The bandwidth shares sum above one, voiding the EDF guarantee
+    /// (§3.2's schedulability condition).
+    BandwidthOverCommitted,
+    /// The capacity shares sum above one.
+    CapacityOverCommitted,
+}
+
+impl fmt::Display for VpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpmError::BandwidthOverCommitted => {
+                write!(f, "bandwidth shares exceed the resource (sum beta > 1)")
+            }
+            VpmError::CapacityOverCommitted => {
+                write!(f, "capacity shares exceed the cache (sum alpha > 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VpmError {}
+
+/// A validated machine partitioning: one [`VpmAllocation`] per thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VpmConfig {
+    allocations: Vec<VpmAllocation>,
+}
+
+impl VpmConfig {
+    /// Validates and wraps a set of allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpmError`] if either resource is over-committed.
+    pub fn new(allocations: Vec<VpmAllocation>) -> Result<VpmConfig, VpmError> {
+        if Share::checked_sum(allocations.iter().map(|a| a.beta)).is_none() {
+            return Err(VpmError::BandwidthOverCommitted);
+        }
+        if Share::checked_sum(allocations.iter().map(|a| a.alpha)).is_none() {
+            return Err(VpmError::CapacityOverCommitted);
+        }
+        Ok(VpmConfig { allocations })
+    }
+
+    /// Equal symmetric shares for `threads` VPMs (no unallocated
+    /// resources).
+    pub fn equal(threads: usize) -> VpmConfig {
+        let share = Share::new(1, threads as u32).expect("1/threads is a valid share");
+        VpmConfig { allocations: vec![VpmAllocation::symmetric(share); threads] }
+    }
+
+    /// The per-thread allocations.
+    pub fn allocations(&self) -> &[VpmAllocation] {
+        &self.allocations
+    }
+
+    /// Bandwidth left unallocated (distributed by the fairness policy).
+    pub fn unallocated_bandwidth(&self) -> Share {
+        let used = Share::checked_sum(self.allocations.iter().map(|a| a.beta))
+            .expect("validated configuration");
+        // 1 - used, as an exact rational.
+        Share::new(used.denom() - used.numer(), used.denom()).expect("used <= 1")
+    }
+
+    /// Applies this partitioning to a running system's control registers.
+    ///
+    /// Returns `false` if the system was not built with VPC arbiters and a
+    /// VPC capacity manager (the registers do not exist on the baseline
+    /// machine).
+    pub fn apply(&self, system: &mut CmpSystem) -> bool {
+        let mut ok = true;
+        for (i, alloc) in self.allocations.iter().enumerate() {
+            ok &= system.reconfigure_thread(ThreadId(i as u8), alloc.beta, alloc.alpha);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CmpConfig, WorkloadSpec};
+    use crate::experiments::RunBudget;
+    use vpc_arbiters::ArbiterPolicy;
+
+    fn share(n: u32, d: u32) -> Share {
+        Share::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_overcommit() {
+        let half = VpmAllocation::symmetric(share(1, 2));
+        assert!(VpmConfig::new(vec![half; 2]).is_ok());
+        assert_eq!(
+            VpmConfig::new(vec![half; 3]).unwrap_err(),
+            VpmError::BandwidthOverCommitted
+        );
+        let skew = VpmAllocation { beta: share(1, 4), alpha: share(1, 2) };
+        assert_eq!(
+            VpmConfig::new(vec![skew; 3]).unwrap_err(),
+            VpmError::CapacityOverCommitted
+        );
+    }
+
+    #[test]
+    fn unallocated_bandwidth_is_exact() {
+        let cfg = VpmConfig::new(vec![
+            VpmAllocation::symmetric(share(1, 2)),
+            VpmAllocation::symmetric(share(1, 10)),
+            VpmAllocation::symmetric(share(1, 10)),
+            VpmAllocation::symmetric(share(1, 10)),
+        ])
+        .unwrap();
+        assert_eq!(cfg.unallocated_bandwidth(), share(1, 5));
+        assert_eq!(VpmConfig::equal(4).unallocated_bandwidth(), Share::ZERO);
+    }
+
+    #[test]
+    fn reconfiguration_shifts_bandwidth_mid_run() {
+        // Start Loads at 75% / Stores at 25%; flip mid-run; the IPC split
+        // must follow the registers.
+        let budget = RunBudget::quick();
+        let mut cfg = CmpConfig::table1_with_threads(2)
+            .with_vpc_shares(vec![share(3, 4), share(1, 4)]);
+        cfg.l2.total_sets = 2048;
+        let mut sys =
+            crate::system::CmpSystem::new(cfg, &[WorkloadSpec::Loads, WorkloadSpec::Stores]);
+        sys.run(budget.warmup);
+        let snap = sys.snapshot();
+        sys.run(budget.window);
+        let before = sys.measure(&snap);
+
+        let flipped = VpmConfig::new(vec![
+            VpmAllocation { beta: share(1, 4), alpha: share(1, 2) },
+            VpmAllocation { beta: share(3, 4), alpha: share(1, 2) },
+        ])
+        .unwrap();
+        assert!(flipped.apply(&mut sys), "VPC machine accepts reconfiguration");
+        sys.run(10_000); // let queues re-settle
+        let snap = sys.snapshot();
+        sys.run(budget.window);
+        let after = sys.measure(&snap);
+
+        assert!(
+            after.ipc[0] < before.ipc[0] * 0.6,
+            "Loads must slow down after losing bandwidth: {:.3} -> {:.3}",
+            before.ipc[0],
+            after.ipc[0]
+        );
+        assert!(
+            after.ipc[1] > before.ipc[1] * 1.5,
+            "Stores must speed up after gaining bandwidth: {:.3} -> {:.3}",
+            before.ipc[1],
+            after.ipc[1]
+        );
+    }
+
+    #[test]
+    fn baseline_machine_rejects_reconfiguration() {
+        let mut cfg = CmpConfig::table1_with_threads(2).with_arbiter(ArbiterPolicy::Fcfs);
+        cfg.l2.total_sets = 512;
+        cfg.l2.capacity = vpc_cache::CapacityPolicy::Lru;
+        let mut sys =
+            crate::system::CmpSystem::new(cfg, &[WorkloadSpec::Idle, WorkloadSpec::Idle]);
+        assert!(!VpmConfig::equal(2).apply(&mut sys), "FCFS+LRU has no QoS registers");
+    }
+}

@@ -1,0 +1,169 @@
+//! Fair-queuing scheduling state for a *shared* memory channel.
+//!
+//! The paper's evaluation gives every thread a private SDRAM channel to
+//! isolate cache effects (§5.1), but the broader VPM framework manages
+//! main-memory bandwidth with the same fair-queuing principles — the FQ
+//! memory scheduler of Nesbit et al. that the paper builds on (§2.1). This
+//! module implements that per-thread virtual-time bookkeeping for a shared
+//! channel: each thread `i` holds a share `beta_i` of the channel, a
+//! `R.S_i`-style register tracks its virtual clock, and the scheduler
+//! services the candidate with the earliest virtual finish time.
+
+use vpc_sim::{Cycle, Share, ThreadId};
+
+/// Virtual-time registers for fair-queuing a shared memory channel.
+#[derive(Debug, Clone)]
+pub struct FqClock {
+    r_s: Vec<u64>,
+    shares: Vec<Share>,
+    backlog: Vec<usize>,
+}
+
+impl FqClock {
+    /// Creates the clock for `threads` threads with the given shares
+    /// (missing entries get zero share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize, shares: &[Share]) -> FqClock {
+        assert!(threads > 0, "at least one thread required");
+        let mut s = vec![Share::ZERO; threads];
+        for (i, &share) in shares.iter().enumerate().take(threads) {
+            s[i] = share;
+        }
+        FqClock { r_s: vec![0; threads], shares: s, backlog: vec![0; threads] }
+    }
+
+    /// Equal shares for `threads` threads.
+    pub fn equal(threads: usize) -> FqClock {
+        let share = Share::new(1, threads as u32).expect("1/threads is a valid share");
+        FqClock::new(threads, &vec![share; threads])
+    }
+
+    /// `thread`'s configured share.
+    pub fn share(&self, thread: ThreadId) -> Share {
+        self.shares[thread.index()]
+    }
+
+    /// Reconfigures `thread`'s share.
+    pub fn set_share(&mut self, thread: ThreadId, share: Share) {
+        self.shares[thread.index()] = share;
+    }
+
+    /// Notes a request arriving for `thread` at `now` (Eq. 6: an arrival to
+    /// an idle thread resets its stale virtual clock).
+    pub fn on_arrival(&mut self, thread: ThreadId, now: Cycle) {
+        let t = thread.index();
+        if self.backlog[t] == 0 && self.r_s[t] < now {
+            self.r_s[t] = now;
+        }
+        self.backlog[t] += 1;
+    }
+
+    /// Picks among `candidates` (thread, service-time estimate) the one to
+    /// schedule next: earliest virtual finish among guaranteed threads,
+    /// else the first zero-share candidate. Returns the winning index into
+    /// `candidates` and charges the winner's virtual clock.
+    pub fn pick(&mut self, candidates: &[(ThreadId, u64)]) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, &(thread, service)) in candidates.iter().enumerate() {
+            let t = thread.index();
+            if let Some(virt) = self.shares[t].scaled_latency(service) {
+                let finish = self.r_s[t] + virt;
+                if best.is_none_or(|(f, _)| finish < f) {
+                    best = Some((finish, i));
+                }
+            }
+        }
+        let winner = match best {
+            Some((finish, i)) => {
+                let t = candidates[i].0.index();
+                self.r_s[t] = finish;
+                i
+            }
+            // Only zero-share candidates: excess bandwidth, first come.
+            None => {
+                if candidates.is_empty() {
+                    return None;
+                }
+                0
+            }
+        };
+        let t = candidates[winner].0.index();
+        self.backlog[t] = self.backlog[t].saturating_sub(1);
+        Some(winner)
+    }
+
+    /// `R.S_i` for inspection.
+    pub fn virtual_start(&self, thread: ThreadId) -> u64 {
+        self.r_s[thread.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_alternate_backlogged_threads() {
+        let mut clock = FqClock::equal(2);
+        for now in 0..8u64 {
+            clock.on_arrival(ThreadId((now % 2) as u8), 0);
+        }
+        let mut grants = [0u32; 2];
+        for _ in 0..8 {
+            let candidates = [(ThreadId(0), 70u64), (ThreadId(1), 70u64)];
+            let winner = clock.pick(&candidates).unwrap();
+            grants[winner] += 1;
+        }
+        assert_eq!(grants[0], grants[1], "equal shares alternate: {grants:?}");
+    }
+
+    #[test]
+    fn larger_share_wins_more_often() {
+        let mut clock = FqClock::new(2, &[Share::new(3, 4).unwrap(), Share::new(1, 4).unwrap()]);
+        for _ in 0..100 {
+            clock.on_arrival(ThreadId(0), 0);
+            clock.on_arrival(ThreadId(1), 0);
+        }
+        let mut grants = [0u32; 2];
+        for _ in 0..100 {
+            let candidates = [(ThreadId(0), 70u64), (ThreadId(1), 70u64)];
+            grants[clock.pick(&candidates).unwrap()] += 1;
+        }
+        let ratio = f64::from(grants[0]) / f64::from(grants[1]);
+        assert!((2.5..3.5).contains(&ratio), "3:1 shares give ~3:1 grants, got {ratio}");
+    }
+
+    #[test]
+    fn idle_thread_is_not_credited() {
+        let mut clock = FqClock::equal(2);
+        clock.on_arrival(ThreadId(0), 0);
+        // Thread 0 runs solo for a long virtual stretch.
+        for _ in 0..10 {
+            clock.pick(&[(ThreadId(0), 70)]);
+            clock.on_arrival(ThreadId(0), 0);
+        }
+        // Thread 1 wakes at t=1000: its clock starts at *now*, not zero.
+        clock.on_arrival(ThreadId(1), 1000);
+        assert_eq!(clock.virtual_start(ThreadId(1)), 1000);
+    }
+
+    #[test]
+    fn zero_share_only_wins_alone() {
+        let mut clock = FqClock::new(2, &[Share::FULL, Share::ZERO]);
+        clock.on_arrival(ThreadId(0), 0);
+        clock.on_arrival(ThreadId(1), 0);
+        let winner = clock.pick(&[(ThreadId(1), 70), (ThreadId(0), 70)]).unwrap();
+        assert_eq!(winner, 1, "guaranteed thread beats zero-share thread");
+        let winner = clock.pick(&[(ThreadId(1), 70)]).unwrap();
+        assert_eq!(winner, 0, "zero-share thread served when alone");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut clock = FqClock::equal(2);
+        assert_eq!(clock.pick(&[]), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! DDR2 SDRAM memory system and controller.
+//!
+//! The paper's evaluation attaches a cycle-accurate on-chip memory controller
+//! to a DDR2-800 memory system (§5.1), with **per-thread private SDRAM
+//! channels** so that memory interference cannot pollute the cache-sharing
+//! results: requests are interleaved across channels using the most
+//! significant physical address bits, which the evaluation's virtual-to-
+//! physical mapping makes equivalent to per-thread channels.
+//!
+//! This crate implements that substrate:
+//!
+//! * [`DramTiming`] — DDR2-800 timing expressed in 2 GHz processor cycles.
+//! * [`DramChannel`] — one channel with ranks × banks, a closed-page policy
+//!   bank state machine, and a shared data bus.
+//! * [`MemoryController`] — per-thread transaction and write buffers,
+//!   read-priority scheduling with write draining, routing to channels.
+//!
+//! # Examples
+//!
+//! ```
+//! use vpc_mem::{MemConfig, MemoryController, MemRequest};
+//! use vpc_sim::{AccessKind, LineAddr, ThreadId};
+//!
+//! let mut mc = MemoryController::new(MemConfig::ddr2_800(), 4);
+//! assert!(mc.can_accept(ThreadId(0), AccessKind::Read));
+//! mc.enqueue(MemRequest { thread: ThreadId(0), line: LineAddr(0x40), kind: AccessKind::Read, token: 1 }, 0);
+//! let mut response = None;
+//! for now in 0..2_000 {
+//!     mc.tick(now);
+//!     if let Some(r) = mc.pop_response() {
+//!         response = Some(r);
+//!         break;
+//!     }
+//! }
+//! assert_eq!(response.unwrap().token, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod controller;
+pub mod fq;
+pub mod timing;
+
+pub use channel::DramChannel;
+pub use controller::{ChannelMode, MemRequest, MemResponse, MemoryController};
+pub use fq::FqClock;
+pub use timing::{DramTiming, MemConfig};

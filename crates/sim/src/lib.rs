@@ -1,0 +1,46 @@
+//! Simulation kernel for the Virtual Private Caches (VPC) reproduction.
+//!
+//! This crate holds the small, dependency-free foundation every other crate
+//! in the workspace builds on:
+//!
+//! * [`types`] — processor cycles, thread identifiers, addresses and the
+//!   request/response protocol spoken between cores, caches and memory.
+//! * [`share`] — [`Share`], an exact rational bandwidth/capacity share
+//!   `p/q` used by the VPC arbiters and capacity manager. The paper's
+//!   virtual-time bookkeeping (`R.L_i = L / beta_i`) is done in integer
+//!   processor cycles with no floating-point drift.
+//! * [`rng`] — [`SplitMix64`], a tiny deterministic RNG so every workload
+//!   and experiment is exactly reproducible from a seed.
+//! * [`stats`] — counters and utilization meters used to produce the
+//!   figures' utilization series.
+//!
+//! # Examples
+//!
+//! ```
+//! use vpc_sim::{Share, SplitMix64};
+//!
+//! // A thread allocated 25% of a resource whose service time is 8 cycles
+//! // has a virtual service time of 32 cycles (Eq. 2 of the paper).
+//! let beta = Share::new(1, 4).unwrap();
+//! assert_eq!(beta.scaled_latency(8), Some(32));
+//!
+//! let mut rng = SplitMix64::new(0xC0FFEE);
+//! let a = rng.next_u64();
+//! let b = rng.next_u64();
+//! assert_ne!(a, b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod share;
+pub mod stats;
+pub mod types;
+
+pub use rng::SplitMix64;
+pub use share::{ParseShareError, Share, ShareError};
+pub use stats::{Counter, Histogram, RateMeter, UtilizationMeter};
+pub use types::{
+    line_of, AccessKind, CacheRequest, CacheResponse, Cycle, LineAddr, ThreadId, MAX_THREADS,
+};

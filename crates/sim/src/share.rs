@@ -1,0 +1,336 @@
+//! Exact rational resource shares.
+//!
+//! The paper allocates each thread a share `beta_i` of every shared bandwidth
+//! resource and `alpha_i` of the cache ways, with `sum(beta_i) <= 1`. The VPC
+//! arbiter's virtual service time is `R.L_i = L / beta_i` (Eq. 2); computing
+//! this with floating point would accumulate drift over billions of cycles,
+//! so [`Share`] keeps the share as an exact rational `num/den` in lowest
+//! terms and scales latencies with integer ceiling division.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// An exact rational share in `[0, 1]`, kept in lowest terms.
+///
+/// ```
+/// use vpc_sim::Share;
+///
+/// let half = Share::new(2, 4).unwrap();
+/// assert_eq!(half.numer(), 1);
+/// assert_eq!(half.denom(), 2);
+/// assert_eq!(half.scaled_latency(8), Some(16));
+/// assert_eq!(Share::ZERO.scaled_latency(8), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Share {
+    num: u32,
+    den: u32,
+}
+
+/// Error returned by [`Share::new`] for invalid fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareError {
+    /// The denominator was zero.
+    ZeroDenominator,
+    /// The fraction exceeded one.
+    GreaterThanOne,
+}
+
+impl fmt::Display for ShareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShareError::ZeroDenominator => write!(f, "share denominator must be nonzero"),
+            ShareError::GreaterThanOne => write!(f, "share must not exceed one"),
+        }
+    }
+}
+
+impl std::error::Error for ShareError {}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Share {
+    /// The zero share: the thread has no guaranteed allocation and is only
+    /// served from excess bandwidth.
+    pub const ZERO: Share = Share { num: 0, den: 1 };
+
+    /// The full share: the thread is allocated the entire resource.
+    pub const FULL: Share = Share { num: 1, den: 1 };
+
+    /// Creates a share `num/den`, reduced to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShareError::ZeroDenominator`] if `den == 0` and
+    /// [`ShareError::GreaterThanOne`] if `num > den`.
+    pub fn new(num: u32, den: u32) -> Result<Share, ShareError> {
+        if den == 0 {
+            return Err(ShareError::ZeroDenominator);
+        }
+        if num > den {
+            return Err(ShareError::GreaterThanOne);
+        }
+        if num == 0 {
+            return Ok(Share::ZERO);
+        }
+        let g = gcd(num, den);
+        Ok(Share { num: num / g, den: den / g })
+    }
+
+    /// Creates a share from a percentage in `0..=100`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShareError::GreaterThanOne`] if `percent > 100`.
+    pub fn from_percent(percent: u32) -> Result<Share, ShareError> {
+        Share::new(percent, 100)
+    }
+
+    /// The numerator, in lowest terms.
+    #[inline]
+    pub fn numer(self) -> u32 {
+        self.num
+    }
+
+    /// The denominator, in lowest terms.
+    #[inline]
+    pub fn denom(self) -> u32 {
+        self.den
+    }
+
+    /// Whether this is the zero share.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// The share as a floating point value, for reporting only.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.num) / f64::from(self.den)
+    }
+
+    /// The paper's virtual service time: `ceil(latency / share)` (Eq. 2,
+    /// expressed in integer processor cycles).
+    ///
+    /// Returns `None` for the zero share, whose virtual service time is
+    /// unbounded — a zero-share thread holds no bandwidth guarantee.
+    pub fn scaled_latency(self, latency: u64) -> Option<u64> {
+        if self.num == 0 {
+            return None;
+        }
+        let num = u64::from(self.num);
+        let den = u64::from(self.den);
+        Some((latency * den).div_ceil(num))
+    }
+
+    /// The number of cache ways guaranteed by this share out of `total_ways`
+    /// (the capacity manager's `alpha_i * ways`, rounded down — a VPC is
+    /// guaranteed *at least* `alpha_i` of the ways, so the guarantee itself
+    /// uses the floor).
+    pub fn of_ways(self, total_ways: u32) -> u32 {
+        ((u64::from(self.num) * u64::from(total_ways)) / u64::from(self.den)) as u32
+    }
+
+    /// Sums an iterator of shares, returning `None` on overflow above one.
+    ///
+    /// Used to validate that a set of allocations does not over-commit a
+    /// resource (`sum(beta_i) <= 1`, the EDF schedulability condition of
+    /// §3.2).
+    pub fn checked_sum<I: IntoIterator<Item = Share>>(shares: I) -> Option<Share> {
+        let mut num: u64 = 0;
+        let mut den: u64 = 1;
+        for s in shares {
+            // num/den + s.num/s.den
+            num = num * u64::from(s.den) + u64::from(s.num) * den;
+            den *= u64::from(s.den);
+            // den >= 1, so the gcd is always nonzero.
+            let g = gcd64(num, den);
+            num /= g;
+            den /= g;
+            if num > den {
+                return None;
+            }
+        }
+        debug_assert!(num <= u64::from(u32::MAX) && den <= u64::from(u32::MAX));
+        Some(Share::new(num as u32, den as u32).expect("reduced sum is a valid share"))
+    }
+}
+
+fn gcd64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Default for Share {
+    /// Defaults to [`Share::ZERO`] — no guaranteed allocation.
+    fn default() -> Self {
+        Share::ZERO
+    }
+}
+
+impl PartialOrd for Share {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Share {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = u64::from(self.num) * u64::from(other.den);
+        let rhs = u64::from(other.num) * u64::from(self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Share {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+/// Error returned when parsing a [`Share`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseShareError(String);
+
+impl fmt::Display for ParseShareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid share syntax: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseShareError {}
+
+impl FromStr for Share {
+    type Err = ParseShareError;
+
+    /// Parses `"p/q"` fractions or `"n%"` percentages.
+    ///
+    /// ```
+    /// use vpc_sim::Share;
+    /// assert_eq!("1/4".parse::<Share>().unwrap(), Share::new(1, 4).unwrap());
+    /// assert_eq!("25%".parse::<Share>().unwrap(), Share::new(1, 4).unwrap());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some(pct) = s.strip_suffix('%') {
+            let p: u32 = pct.trim().parse().map_err(|_| ParseShareError(s.into()))?;
+            return Share::from_percent(p).map_err(|_| ParseShareError(s.into()));
+        }
+        let (num, den) = s.split_once('/').ok_or_else(|| ParseShareError(s.into()))?;
+        let num: u32 = num.trim().parse().map_err(|_| ParseShareError(s.into()))?;
+        let den: u32 = den.trim().parse().map_err(|_| ParseShareError(s.into()))?;
+        Share::new(num, den).map_err(|_| ParseShareError(s.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let s = Share::new(4, 16).unwrap();
+        assert_eq!((s.numer(), s.denom()), (1, 4));
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert_eq!(Share::new(1, 0), Err(ShareError::ZeroDenominator));
+        assert_eq!(Share::new(3, 2), Err(ShareError::GreaterThanOne));
+    }
+
+    #[test]
+    fn scaled_latency_matches_paper_examples() {
+        // §5.3: a VPC allocated beta = .5 sees an 8-cycle tag latency as 16
+        // and the 8-cycle data latency as 16 in the equivalent private cache.
+        let half = Share::new(1, 2).unwrap();
+        assert_eq!(half.scaled_latency(4), Some(8));
+        assert_eq!(half.scaled_latency(8), Some(16));
+        let quarter = Share::new(1, 4).unwrap();
+        assert_eq!(quarter.scaled_latency(4), Some(16));
+    }
+
+    #[test]
+    fn zero_share_has_no_guarantee() {
+        assert!(Share::ZERO.is_zero());
+        assert_eq!(Share::ZERO.scaled_latency(8), None);
+        assert_eq!(Share::ZERO.of_ways(32), 0);
+    }
+
+    #[test]
+    fn way_allocation() {
+        assert_eq!(Share::new(1, 4).unwrap().of_ways(32), 8);
+        assert_eq!(Share::new(1, 2).unwrap().of_ways(32), 16);
+        assert_eq!(Share::FULL.of_ways(32), 32);
+        assert_eq!(Share::new(1, 3).unwrap().of_ways(32), 10);
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        let s = |n, d| Share::new(n, d).unwrap();
+        assert!(s(1, 4) < s(1, 2));
+        assert!(s(2, 4) == s(1, 2));
+        assert!(s(3, 4) > s(2, 3));
+    }
+
+    #[test]
+    fn checked_sum_detects_overcommit() {
+        let q = Share::new(1, 4).unwrap();
+        assert_eq!(
+            Share::checked_sum([q, q, q, q]),
+            Some(Share::FULL)
+        );
+        let h = Share::new(1, 2).unwrap();
+        assert_eq!(Share::checked_sum([h, h, q]), None);
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3/4".parse::<Share>().unwrap(), Share::new(3, 4).unwrap());
+        assert_eq!("50%".parse::<Share>().unwrap(), Share::new(1, 2).unwrap());
+        assert!(" 7 / 8 ".parse::<Share>().is_ok());
+        assert!("4/3".parse::<Share>().is_err());
+        assert!("abc".parse::<Share>().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn scaled_latency_is_ceiling_division(num in 1u32..=64, den in 1u32..=64, lat in 0u64..10_000) {
+            prop_assume!(num <= den);
+            let s = Share::new(num, den).unwrap();
+            let exact = (lat as f64) * (den as f64) / (num as f64);
+            let got = s.scaled_latency(lat).unwrap();
+            prop_assert!(got as f64 >= exact - 1e-9);
+            prop_assert!((got as f64) < exact + 1.0);
+        }
+
+        #[test]
+        fn ways_never_exceed_total(num in 0u32..=64, den in 1u32..=64, ways in 1u32..=64) {
+            prop_assume!(num <= den);
+            let s = Share::new(num, den).unwrap();
+            prop_assert!(s.of_ways(ways) <= ways);
+        }
+
+        #[test]
+        fn display_parse_roundtrip(num in 0u32..=64, den in 1u32..=64) {
+            prop_assume!(num <= den);
+            let s = Share::new(num, den).unwrap();
+            let back: Share = s.to_string().parse().unwrap();
+            prop_assert_eq!(s, back);
+        }
+    }
+}

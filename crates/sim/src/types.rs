@@ -1,0 +1,153 @@
+//! Core simulation types: cycles, threads, addresses, and the cache protocol.
+
+use std::fmt;
+
+/// A point in simulated time, measured in processor cycles (2 GHz in the
+/// paper's Table 1 configuration).
+pub type Cycle = u64;
+
+/// A byte address in the simulated physical address space.
+pub type Addr = u64;
+
+/// A cache-line address: a byte address with the line offset stripped.
+///
+/// Line addresses are what the store-gathering buffers, cache tags, and
+/// memory controller operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// Returns the [`LineAddr`] containing byte address `addr` for a cache with
+/// `line_bytes` bytes per line.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is not a power of two.
+///
+/// ```
+/// use vpc_sim::{line_of, LineAddr};
+/// assert_eq!(line_of(0x1234, 64), LineAddr(0x48));
+/// ```
+pub fn line_of(addr: Addr, line_bytes: u64) -> LineAddr {
+    assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+    LineAddr(addr >> line_bytes.trailing_zeros())
+}
+
+/// Maximum number of hardware threads / processors the fixed-size per-thread
+/// structures are dimensioned for.
+pub const MAX_THREADS: usize = 8;
+
+/// Identifies one hardware thread (equivalently, one processor — the paper's
+/// configuration runs one thread per processor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// The thread's index, for indexing per-thread tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `n` thread ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_THREADS`.
+    pub fn first_n(n: usize) -> impl Iterator<Item = ThreadId> {
+        assert!(n <= MAX_THREADS, "at most {MAX_THREADS} threads supported");
+        (0..n as u8).map(ThreadId)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Whether an access reads or writes the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load (L1 read miss reaching the L2).
+    Read,
+    /// A store (write-through traffic reaching the L2, after gathering).
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Read`].
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+/// A request sent from a core's L1 miss path (or store-retire path) into the
+/// shared L2 cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheRequest {
+    /// Issuing thread.
+    pub thread: ThreadId,
+    /// Line being accessed.
+    pub line: LineAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Opaque token the core uses to match the eventual [`CacheResponse`].
+    /// Writes are posted (write-through + store gathering) and never answered.
+    pub token: u64,
+}
+
+/// A completed read returning from the L2 (or memory through the L2) to a
+/// core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheResponse {
+    /// Thread the data belongs to.
+    pub thread: ThreadId,
+    /// Line whose critical word has arrived.
+    pub line: LineAddr,
+    /// Token from the originating [`CacheRequest`].
+    pub token: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_strips_offset() {
+        assert_eq!(line_of(0, 64), LineAddr(0));
+        assert_eq!(line_of(63, 64), LineAddr(0));
+        assert_eq!(line_of(64, 64), LineAddr(1));
+        assert_eq!(line_of(0xFFFF, 128), LineAddr(0x1FF));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_of_rejects_non_power_of_two() {
+        let _ = line_of(0, 48);
+    }
+
+    #[test]
+    fn thread_id_iteration() {
+        let ids: Vec<_> = ThreadId::first_n(4).collect();
+        assert_eq!(ids, vec![ThreadId(0), ThreadId(1), ThreadId(2), ThreadId(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ThreadId(2).to_string(), "T2");
+        assert_eq!(LineAddr(0x40).to_string(), "L0x40");
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Write.is_read());
+    }
+}

@@ -1,0 +1,122 @@
+//! The Table 2 microbenchmarks.
+//!
+//! Both benchmarks walk a two-dimensional `int array[R][C]` whose rows are
+//! 64 bytes (one cache line) and whose total size is 32 KB — twice the L1
+//! data cache — touching the first word of each row. The main loop is
+//! unrolled four times (one address-increment instruction per four memory
+//! operations), exactly as in the paper's C/PowerPC hybrid listing.
+
+use vpc_cpu::{FixedTrace, Op};
+use vpc_sim::{LineAddr, ThreadId};
+
+/// Rows in the 32 KB array: 32 KB / 64 B = 512 lines.
+pub const MICRO_LINES: u64 = 512;
+
+/// Address-space stride separating threads' private arrays (in lines).
+const THREAD_STRIDE: u64 = 1 << 32;
+
+fn micro_ops(thread: ThreadId, make: impl Fn(LineAddr) -> Op) -> Vec<Op> {
+    let base = u64::from(thread.0) * THREAD_STRIDE;
+    let mut ops = Vec::with_capacity((MICRO_LINES + MICRO_LINES / 4) as usize);
+    for row in 0..MICRO_LINES {
+        ops.push(make(LineAddr(base + row)));
+        if row % 4 == 3 {
+            // The unrolled loop's address increment (`r2 <- r2 + 256`).
+            ops.push(Op::NonMem);
+        }
+    }
+    ops
+}
+
+/// The **Loads** microbenchmark: continuously loads the first column of
+/// each row, creating a constant stream of L2 read hits that stresses L2
+/// load bandwidth.
+pub fn loads_micro(thread: ThreadId) -> FixedTrace {
+    FixedTrace::new("Loads", micro_ops(thread, Op::Load))
+}
+
+/// The **Stores** microbenchmark: the same walk with stores (`stw`),
+/// stressing L2 store bandwidth. Consecutive stores touch different lines,
+/// so the store gathering buffers cannot merge them and every store costs
+/// an L2 write.
+pub fn stores_micro(thread: ThreadId) -> FixedTrace {
+    FixedTrace::new("Stores", micro_ops(thread, Op::Store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpc_cpu::Workload;
+
+    #[test]
+    fn loads_micro_touches_512_distinct_lines() {
+        let mut w = loads_micro(ThreadId(0));
+        let mut lines = std::collections::BTreeSet::new();
+        let mut loads = 0;
+        let mut non_mem = 0;
+        for _ in 0..(512 + 128) {
+            match w.next_op() {
+                Op::Load(l) => {
+                    lines.insert(l);
+                    loads += 1;
+                }
+                Op::NonMem => non_mem += 1,
+                Op::Store(_) | Op::Bubble(_) => panic!("Loads must not store or stall"),
+            }
+        }
+        assert_eq!(lines.len(), 512);
+        assert_eq!(loads, 512);
+        assert_eq!(non_mem, 128, "one overhead op per four loads");
+    }
+
+    #[test]
+    fn stores_micro_never_repeats_within_buffer_reach() {
+        // Consecutive stores are all to distinct lines until the walk wraps
+        // (period 512 >> the 8-entry SGB), so gathering is impossible.
+        let mut w = stores_micro(ThreadId(0));
+        let mut recent = std::collections::VecDeque::new();
+        for _ in 0..2000 {
+            if let Op::Store(l) = w.next_op() {
+                assert!(!recent.contains(&l), "store line repeats within SGB reach");
+                recent.push_back(l);
+                if recent.len() > 8 {
+                    recent.pop_front();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_use_disjoint_address_spaces() {
+        let mut a = loads_micro(ThreadId(0));
+        let mut b = loads_micro(ThreadId(1));
+        let la = loop {
+            if let Op::Load(l) = a.next_op() {
+                break l;
+            }
+        };
+        let lb = loop {
+            if let Op::Load(l) = b.next_op() {
+                break l;
+            }
+        };
+        assert_ne!(la, lb);
+        assert!(lb.0 >= THREAD_STRIDE);
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_across_banks() {
+        // Lines increment by one, so with 2..16 banks the stream alternates
+        // banks perfectly (ideal interleaving for in-order streams).
+        let mut w = loads_micro(ThreadId(0));
+        let mut last: Option<u64> = None;
+        for _ in 0..20 {
+            if let Op::Load(l) = w.next_op() {
+                if let Some(prev) = last {
+                    assert_eq!(l.0, prev + 1);
+                }
+                last = Some(l.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Trace-driven workloads.
+//!
+//! The paper drives its cores with sampled instruction traces. This module
+//! provides the same capability for users who have real traces: a small
+//! line-oriented text format, a [`TraceWorkload`] that replays it (looping,
+//! like the paper's steady-state samples), and a recorder that captures any
+//! generator's stream into the format.
+//!
+//! # Format
+//!
+//! One operation per line; `#` starts a comment. Addresses are cache-line
+//! numbers in hex or decimal:
+//!
+//! ```text
+//! # ops: N = non-memory, L <line> = load, S <line> = store, B <n> = bubble
+//! N
+//! L 0x1a2
+//! S 420
+//! B 4
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use vpc_cpu::{Op, Workload};
+use vpc_sim::LineAddr;
+
+/// Error produced when parsing a trace fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_line_addr(s: &str) -> Result<LineAddr, String> {
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())?
+    } else {
+        s.parse::<u64>().map_err(|e| e.to_string())?
+    };
+    Ok(LineAddr(v))
+}
+
+/// Parses the trace text format into a vector of operations.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        let err = |message: String| ParseTraceError { line: line_no, message };
+        let op = match tag {
+            "N" => Op::NonMem,
+            "L" | "S" => {
+                let addr = parts
+                    .next()
+                    .ok_or_else(|| err(format!("'{tag}' needs a line address")))?;
+                let addr = parse_line_addr(addr).map_err(|e| err(format!("bad address: {e}")))?;
+                if tag == "L" {
+                    Op::Load(addr)
+                } else {
+                    Op::Store(addr)
+                }
+            }
+            "B" => {
+                let n = parts.next().ok_or_else(|| err("'B' needs a cycle count".into()))?;
+                let n: u8 = n.parse().map_err(|e| err(format!("bad bubble count: {e}")))?;
+                Op::Bubble(n)
+            }
+            other => return Err(err(format!("unknown op tag {other:?}"))),
+        };
+        if let Some(junk) = parts.next() {
+            return Err(err(format!("trailing token {junk:?}")));
+        }
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Serializes operations into the trace text format (the inverse of
+/// [`parse_trace`]).
+pub fn format_trace(ops: &[Op]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            Op::NonMem => out.push_str("N\n"),
+            Op::Load(l) => out.push_str(&format!("L {:#x}\n", l.0)),
+            Op::Store(l) => out.push_str(&format!("S {:#x}\n", l.0)),
+            Op::Bubble(n) => out.push_str(&format!("B {n}\n")),
+        }
+    }
+    out
+}
+
+/// Records the next `n` operations of any workload into the trace format.
+pub fn record<W: Workload + ?Sized>(workload: &mut W, n: usize) -> String {
+    let ops: Vec<Op> = (0..n).map(|_| workload.next_op()).collect();
+    format_trace(&ops)
+}
+
+/// A workload replaying a parsed trace in a loop.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    name: String,
+    ops: Vec<Op>,
+    pos: usize,
+}
+
+impl TraceWorkload {
+    /// Wraps parsed operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> TraceWorkload {
+        assert!(!ops.is_empty(), "trace must contain at least one op");
+        TraceWorkload { name: name.into(), ops, pos: 0 }
+    }
+
+    /// The number of operations in one pass of the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty (never true — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl FromStr for TraceWorkload {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let ops = parse_trace(s)?;
+        if ops.is_empty() {
+            return Err(ParseTraceError { line: 0, message: "trace contains no operations".into() });
+        }
+        Ok(TraceWorkload::new("trace", ops))
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn next_op(&mut self) -> Op {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_all_op_kinds() {
+        let text = "# header comment\nN\nL 0x1a2\nS 420\nB 4\n\n# trailing\n";
+        let ops = parse_trace(text).unwrap();
+        assert_eq!(
+            ops,
+            vec![Op::NonMem, Op::Load(LineAddr(0x1a2)), Op::Store(LineAddr(420)), Op::Bubble(4)]
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers_in_errors() {
+        let err = parse_trace("N\nL\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("needs a line address"));
+        let err = parse_trace("X 1\n").unwrap_err();
+        assert!(err.message.contains("unknown op tag"));
+        let err = parse_trace("N extra\n").unwrap_err();
+        assert!(err.message.contains("trailing token"));
+        let err = parse_trace("B 300\n").unwrap_err();
+        assert!(err.message.contains("bad bubble count"));
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let ops = parse_trace("L 7 # the hot line\n").unwrap();
+        assert_eq!(ops, vec![Op::Load(LineAddr(7))]);
+    }
+
+    #[test]
+    fn trace_workload_loops() {
+        let mut w: TraceWorkload = "L 1\nS 2\n".parse().unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.next_op(), Op::Load(LineAddr(1)));
+        assert_eq!(w.next_op(), Op::Store(LineAddr(2)));
+        assert_eq!(w.next_op(), Op::Load(LineAddr(1)));
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        let err = "# only comments\n".parse::<TraceWorkload>().unwrap_err();
+        assert!(err.message.contains("no operations"));
+    }
+
+    #[test]
+    fn recording_a_synthetic_profile_roundtrips() {
+        let mut art = crate::spec::workload("art", vpc_sim::ThreadId(0)).unwrap();
+        let text = record(&mut art, 500);
+        let replay: TraceWorkload = text.parse().unwrap();
+        assert_eq!(replay.len(), 500);
+        // Replaying yields the identical prefix.
+        let mut art2 = crate::spec::workload("art", vpc_sim::ThreadId(0)).unwrap();
+        let mut replay = replay;
+        for _ in 0..500 {
+            assert_eq!(replay.next_op(), art2.next_op());
+        }
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::NonMem),
+            (0u64..1 << 40).prop_map(|l| Op::Load(LineAddr(l))),
+            (0u64..1 << 40).prop_map(|l| Op::Store(LineAddr(l))),
+            (1u8..=64).prop_map(Op::Bubble),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn format_parse_roundtrip(ops in proptest::collection::vec(arb_op(), 1..200)) {
+            let text = format_trace(&ops);
+            let back = parse_trace(&text).unwrap();
+            prop_assert_eq!(ops, back);
+        }
+    }
+}

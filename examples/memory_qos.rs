@@ -1,0 +1,57 @@
+//! Extending VPM QoS to main-memory bandwidth: all four threads share a
+//! single DDR2 channel (instead of the paper's private per-thread
+//! channels), and the fair-queuing memory scheduler divides it.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example memory_qos
+//! ```
+
+use vpc::prelude::*;
+use vpc_mem::ChannelMode;
+
+fn subject_ipc(channels: ChannelMode) -> f64 {
+    let cfg = CmpConfig::table1()
+        .with_arbiter(ArbiterPolicy::vpc_equal(4))
+        .with_channels(channels);
+    // A latency-sensitive subject against three streaming memory hogs.
+    let workloads = [
+        WorkloadSpec::Spec("mcf"),
+        WorkloadSpec::Spec("swim"),
+        WorkloadSpec::Spec("swim"),
+        WorkloadSpec::Spec("swim"),
+    ];
+    let mut sys = CmpSystem::new(cfg, &workloads);
+    sys.run_measured(40_000, 160_000).ipc[0]
+}
+
+fn main() {
+    println!("== Memory-bandwidth QoS: mcf vs 3x swim on one DDR2 channel ==\n");
+    let half = Share::new(1, 2).unwrap();
+    let sixth = Share::new(1, 6).unwrap();
+    let quarter = Share::new(1, 4).unwrap();
+
+    let fcfs = subject_ipc(ChannelMode::SharedFcfs);
+    println!("shared channel, FCFS scheduler:        subject IPC {fcfs:.3}");
+
+    let fq_eq = subject_ipc(ChannelMode::SharedFq { shares: vec![quarter; 4] });
+    println!("shared channel, FQ (equal shares):     subject IPC {fq_eq:.3}");
+
+    let fq_half = subject_ipc(ChannelMode::SharedFq { shares: vec![half, sixth, sixth, sixth] });
+    println!("shared channel, FQ (subject gets 1/2): subject IPC {fq_half:.3}");
+
+    let private = subject_ipc(ChannelMode::PerThread);
+    println!("private channel per thread (Table 1):  subject IPC {private:.3}\n");
+
+    println!(
+        "The fair-queuing scheduler turns the channel into an allocatable\n\
+         resource: growing the subject's share buys back performance the\n\
+         streams would otherwise take ({:.0}% -> {:.0}% of the private-channel\n\
+         reference). The paper's evaluation sidesteps this by giving every\n\
+         thread a private channel; this example shows the VPM framework's\n\
+         memory-bandwidth leg working on shared hardware.",
+        100.0 * fcfs / private,
+        100.0 * fq_half / private,
+    );
+}

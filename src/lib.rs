@@ -1,0 +1,23 @@
+//! Umbrella package for the Virtual Private Caches reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`. All functionality
+//! lives in the member crates; the most useful entry point is the [`vpc`]
+//! crate, which assembles the simulated CMP and exposes the experiment
+//! harness.
+//!
+//! ```
+//! use vpc::prelude::*;
+//!
+//! let config = CmpConfig::table1();
+//! assert_eq!(config.processors, 4);
+//! ```
+
+pub use vpc;
+pub use vpc_arbiters;
+pub use vpc_cache;
+pub use vpc_capacity;
+pub use vpc_cpu;
+pub use vpc_mem;
+pub use vpc_sim;
+pub use vpc_workloads;

@@ -1,0 +1,110 @@
+//! Performance-isolation properties: a VPC-protected thread's performance
+//! must be (nearly) independent of what its neighbors run.
+
+use vpc::experiments::RunBudget;
+use vpc::prelude::*;
+
+fn quick_base() -> CmpConfig {
+    let mut cfg = CmpConfig::table1();
+    cfg.l2.total_sets = 2048;
+    cfg
+}
+
+/// Runs `subject` with the given three background workloads under equal
+/// VPC shares and returns the subject's IPC.
+fn subject_ipc_with_background(subject: &'static str, bg: WorkloadSpec, budget: RunBudget) -> f64 {
+    let cfg = quick_base().with_arbiter(ArbiterPolicy::vpc_equal(4));
+    let workloads = [WorkloadSpec::Spec(subject), bg, bg, bg];
+    let mut sys = CmpSystem::new(cfg, &workloads);
+    sys.run_measured(budget.warmup, budget.window).ipc[0]
+}
+
+#[test]
+fn subject_performance_is_insensitive_to_background_choice() {
+    // Swap the background from idle spinners to the most aggressive store
+    // stream: the subject's VPC holds its guarantee, so the change is
+    // bounded (it may *lose excess* bandwidth, but never its guarantee).
+    let budget = RunBudget::quick();
+    let base = quick_base();
+    let quarter = Share::new(1, 4).unwrap();
+    let guarantee = target_ipc(
+        &base,
+        WorkloadSpec::Spec("gcc"),
+        quarter,
+        quarter,
+        budget.warmup,
+        budget.window,
+    );
+    for bg in [WorkloadSpec::Idle, WorkloadSpec::Spec("gzip"), WorkloadSpec::Stores] {
+        let ipc = subject_ipc_with_background("gcc", bg, budget);
+        assert!(
+            ipc >= guarantee * 0.9,
+            "gcc with {} background: IPC {:.3} below guarantee {:.3}",
+            bg.name(),
+            ipc,
+            guarantee
+        );
+    }
+}
+
+#[test]
+fn fcfs_subject_is_sensitive_to_background_choice() {
+    // The contrast: without VPC arbiters the same swap swings the subject
+    // hard — this is the negative interference the paper eliminates.
+    let budget = RunBudget::quick();
+    let run = |bg: WorkloadSpec| {
+        let cfg = quick_base().with_arbiter(ArbiterPolicy::Fcfs);
+        let workloads = [WorkloadSpec::Spec("gcc"), bg, bg, bg];
+        let mut sys = CmpSystem::new(cfg, &workloads);
+        sys.run_measured(budget.warmup, budget.window).ipc[0]
+    };
+    let calm = run(WorkloadSpec::Idle);
+    let hostile = run(WorkloadSpec::Stores);
+    assert!(
+        hostile < calm * 0.8,
+        "FCFS should expose the subject to interference: calm {calm:.3} vs hostile {hostile:.3}"
+    );
+}
+
+#[test]
+fn capacity_quotas_bound_streaming_pollution() {
+    // With a small cache, streaming neighbors under LRU strip the
+    // subject's working set; VPC way quotas preserve the subject's hit
+    // rate. (Identical FCFS arbiters isolate the capacity effect.)
+    let budget = RunBudget { warmup: 20_000, window: 120_000 };
+    let run = |capacity: CapacityPolicy| {
+        let mut cfg = quick_base().with_arbiter(ArbiterPolicy::Fcfs).with_capacity(capacity);
+        cfg.l2.total_sets = 256; // 512 KB: small enough to thrash in-window
+        let workloads = [
+            WorkloadSpec::Spec("gzip"),
+            WorkloadSpec::Spec("swim"),
+            WorkloadSpec::Spec("equake"),
+            WorkloadSpec::Spec("swim"),
+        ];
+        let mut sys = CmpSystem::new(cfg, &workloads);
+        sys.run_measured(budget.warmup, budget.window).ipc[0]
+    };
+    let lru = run(CapacityPolicy::Lru);
+    let vpc = run(CapacityPolicy::vpc_equal(4));
+    assert!(
+        vpc >= lru * 0.98,
+        "way quotas must protect the subject's working set: LRU {lru:.3} vs VPC {vpc:.3}"
+    );
+}
+
+#[test]
+fn performance_is_monotone_in_bandwidth_share() {
+    // §4.3's performance-monotonicity assumption, checked empirically:
+    // more bandwidth never hurts.
+    let budget = RunBudget::quick();
+    let mut prev = 0.0;
+    for (num, den) in [(1u32, 8u32), (1, 4), (1, 2), (1, 1)] {
+        let policy = vpc::experiments::fig9::subject_share_policy(num, den);
+        let ipc = vpc::experiments::fig9::run_subject(&quick_base(), "vpr", policy, budget);
+        assert!(
+            ipc >= prev * 0.97,
+            "IPC should not decrease with share {num}/{den}: {ipc:.3} after {prev:.3}"
+        );
+        prev = ipc;
+    }
+}
