@@ -130,7 +130,11 @@ impl RoundRobinArbiter {
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> RoundRobinArbiter {
         assert!(threads > 0, "at least one thread required");
-        RoundRobinArbiter { queues: (0..threads).map(|_| VecDeque::new()).collect(), next: 0, pending: 0 }
+        RoundRobinArbiter {
+            queues: (0..threads).map(|_| VecDeque::new()).collect(),
+            next: 0,
+            pending: 0,
+        }
     }
 }
 
@@ -203,12 +207,10 @@ mod tests {
         // store under RoW-FCFS for as long as the loads keep coming.
         let mut arb = RowFcfsArbiter::new();
         arb.enqueue(write(0, 1), 0);
-        let mut next_id = 1;
         for now in 0..1000u64 {
-            arb.enqueue(read(next_id, 0), now);
+            arb.enqueue(read(now + 1, 0), now);
             let granted = arb.select(now).unwrap();
             assert!(granted.kind.is_read(), "write was granted while reads pending");
-            next_id += 1;
         }
         // Only once the read stream stops does the write get service.
         assert_eq!(arb.select(1000).unwrap().id, 0);

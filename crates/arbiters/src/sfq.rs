@@ -107,10 +107,8 @@ impl Arbiter for SfqArbiter {
         }
         if let Some((start, t)) = best {
             let req = self.threads[t].queue.pop_front().expect("backlogged");
-            let virt = self.threads[t]
-                .share
-                .scaled_latency(req.service_time)
-                .expect("nonzero share");
+            let virt =
+                self.threads[t].share.scaled_latency(req.service_time).expect("nonzero share");
             self.v = start; // system virtual time = start tag in service
             self.threads[t].finish = start + virt;
             self.pending -= 1;

@@ -215,8 +215,8 @@ impl Arbiter for VpcArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use vpc_sim::AccessKind;
+    use vpc_sim::check::{self, Config};
+    use vpc_sim::{ensure, AccessKind};
 
     fn share(n: u32, d: u32) -> Share {
         Share::new(n, d).unwrap()
@@ -244,8 +244,8 @@ mod tests {
         arb.enqueue(read(1, 0, 8), 0);
         arb.select(0);
         assert_eq!(arb.virtual_start(ThreadId(0)), 16); // 8 / (1/2)
-        // Thread 0 goes idle; a request arriving at cycle 100 must not be
-        // credited for the idle period.
+                                                        // Thread 0 goes idle; a request arriving at cycle 100 must not be
+                                                        // credited for the idle period.
         arb.enqueue(read(2, 0, 8), 100);
         assert_eq!(arb.virtual_start(ThreadId(0)), 100);
         let granted = arb.select(100).unwrap();
@@ -398,44 +398,42 @@ mod tests {
             self.max_service = self.max_service.max(service);
         }
 
-        fn on_complete(&mut self, thread: usize, finish: u64, service: u64) {
+        fn on_complete(&mut self, thread: usize, finish: u64, service: u64) -> Result<(), String> {
             self.queue_len[thread] -= 1;
             if let Some(virt) = self.shares[thread].scaled_latency(service) {
                 self.v[thread] += virt;
-                assert!(
+                ensure!(
                     finish <= self.v[thread] + self.max_service,
                     "thread {thread} finished at {finish}, deadline {} + max {}",
                     self.v[thread],
                     self.max_service
                 );
             }
+            Ok(())
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The paper's minimum-bandwidth guarantee, tested against random
-        /// arrival patterns with non-over-committed shares: every service of
-        /// a guaranteed thread completes by its virtual deadline plus one
-        /// maximum service time.
-        #[test]
-        fn deadline_guarantee_holds(
-            seed in any::<u64>(),
-            order in prop_oneof![Just(IntraThreadOrder::Fifo), Just(IntraThreadOrder::ReadOverWrite)],
-        ) {
-            use vpc_sim::SplitMix64;
-            let mut rng = SplitMix64::new(seed);
+    /// The paper's minimum-bandwidth guarantee, tested against random
+    /// arrival patterns with non-over-committed shares: every service of
+    /// a guaranteed thread completes by its virtual deadline plus one
+    /// maximum service time.
+    #[test]
+    fn deadline_guarantee_holds() {
+        check::forall("deadline_guarantee_holds", Config::cases(64), |rng| {
+            let order = if rng.chance(0.5) {
+                IntraThreadOrder::Fifo
+            } else {
+                IntraThreadOrder::ReadOverWrite
+            };
             let shares = vec![share(1, 2), share(1, 4), share(1, 8), Share::ZERO];
             let mut arb = VpcArbiter::new(4, order);
             for (t, s) in shares.iter().enumerate() {
                 arb.set_share(ThreadId(t as u8), *s);
             }
             let mut checker = GuaranteeChecker::new(shares);
-            let mut now: u64 = 0;
             let mut id = 0u64;
             let mut busy_until = 0u64;
-            for _ in 0..2000 {
+            for now in 0..2000u64 {
                 // Random arrivals.
                 for t in 0..4u8 {
                     if rng.chance(0.3) {
@@ -452,19 +450,19 @@ mod tests {
                     if let Some(req) = arb.select(now) {
                         let finish = now + req.service_time;
                         busy_until = finish;
-                        checker.on_complete(req.thread.index(), finish, req.service_time);
+                        checker.on_complete(req.thread.index(), finish, req.service_time)?;
                     }
                 }
-                now += 1;
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// Work conservation: the arbiter always grants when any request is
-        /// pending, regardless of shares.
-        #[test]
-        fn work_conserving(seed in any::<u64>()) {
-            use vpc_sim::SplitMix64;
-            let mut rng = SplitMix64::new(seed);
+    /// Work conservation: the arbiter always grants when any request is
+    /// pending, regardless of shares.
+    #[test]
+    fn work_conserving() {
+        check::forall("work_conserving", Config::cases(64), |rng| {
             let mut arb = VpcArbiter::new(3, IntraThreadOrder::ReadOverWrite);
             arb.set_share(ThreadId(0), share(1, 4));
             // Threads 1, 2 left at zero share.
@@ -473,15 +471,16 @@ mod tests {
                 let t = rng.below(3) as u8;
                 id += 1;
                 arb.enqueue(read(id, t, 8), step);
-                prop_assert!(arb.select(step).is_some(), "pending request must be granted");
+                ensure!(arb.select(step).is_some(), "pending request must be granted");
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// R.S_i never decreases: virtual time is monotone per thread.
-        #[test]
-        fn virtual_start_is_monotone(seed in any::<u64>()) {
-            use vpc_sim::SplitMix64;
-            let mut rng = SplitMix64::new(seed);
+    /// R.S_i never decreases: virtual time is monotone per thread.
+    #[test]
+    fn virtual_start_is_monotone() {
+        check::forall("virtual_start_is_monotone", Config::cases(64), |rng| {
             let mut arb = equal_share_arbiter(2);
             let mut last = [0u64; 2];
             let mut id = 0;
@@ -494,13 +493,14 @@ mod tests {
                 if rng.chance(0.6) {
                     let _ = arb.select(now);
                 }
-                for t in 0..2 {
+                for (t, slot) in last.iter_mut().enumerate() {
                     let v = arb.virtual_start(ThreadId(t as u8));
-                    prop_assert!(v >= last[t], "R.S went backwards");
-                    last[t] = v;
+                    ensure!(v >= *slot, "R.S went backwards");
+                    *slot = v;
                 }
                 now += rng.below(4);
             }
-        }
+            Ok(())
+        });
     }
 }

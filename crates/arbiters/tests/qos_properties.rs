@@ -2,10 +2,9 @@
 //! must converge to share-proportional service under backlog, and the
 //! share-oblivious policies must at least not lose requests.
 
-use proptest::prelude::*;
-
 use vpc_arbiters::{ArbRequest, ArbiterPolicy, IntraThreadOrder};
-use vpc_sim::{AccessKind, Share, SplitMix64, ThreadId};
+use vpc_sim::check::{self, gen, Config};
+use vpc_sim::{ensure, ensure_eq, AccessKind, Share, ThreadId};
 
 fn share_aware_policies(shares: Vec<Share>) -> Vec<ArbiterPolicy> {
     vec![
@@ -15,24 +14,19 @@ fn share_aware_policies(shares: Vec<Share>) -> Vec<ArbiterPolicy> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// Under continuous backlog with mixed read/write service times, every
-    /// QoS arbiter delivers service (busy cycles, not grant counts)
-    /// proportional to the configured shares, within 10%.
-    #[test]
-    fn qos_arbiters_converge_to_proportional_service(
-        seed in any::<u64>(),
-        num0 in 1u32..=3,
-    ) {
-        let shares = vec![
-            Share::new(num0, 4).unwrap(),
-            Share::new(4 - num0, 4).unwrap(),
-        ];
+/// Under continuous backlog with mixed read/write service times, every
+/// QoS arbiter delivers service (busy cycles, not grant counts)
+/// proportional to the configured shares, within 10%.
+#[test]
+fn qos_arbiters_converge_to_proportional_service() {
+    check::forall("qos_arbiters_converge_to_proportional_service", Config::cases(20), |rng| {
+        let num0 = gen::range(rng, 1, 3) as u32;
+        let shares = vec![Share::new(num0, 4).unwrap(), Share::new(4 - num0, 4).unwrap()];
+        let inner_seed = rng.next_u64();
         for policy in share_aware_policies(shares.clone()) {
             let mut arb = policy.build(2);
-            let mut rng = SplitMix64::new(seed);
+            // Each policy replays the identical arrival pattern.
+            let mut rng = vpc_sim::SplitMix64::new(inner_seed);
             let mut service = [0u64; 2];
             let mut id = 0;
             let mut now = 0u64;
@@ -56,19 +50,22 @@ proptest! {
             let total = (service[0] + service[1]) as f64;
             let got = service[0] as f64 / total;
             let want = shares[0].as_f64();
-            prop_assert!(
+            ensure!(
                 (got - want).abs() < 0.10,
                 "{}: thread 0 got {got:.3} of service, share is {want:.3}",
                 policy.label()
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// No arbiter ever loses or duplicates a request.
-    #[test]
-    fn arbiters_conserve_requests(seed in any::<u64>(), which in 0u8..6) {
+/// No arbiter ever loses or duplicates a request.
+#[test]
+fn arbiters_conserve_requests() {
+    check::forall("arbiters_conserve_requests", Config::cases(20), |rng| {
         let shares = vec![Share::new(1, 2).unwrap(), Share::new(1, 2).unwrap()];
-        let policy = match which {
+        let policy = match rng.below(6) {
             0 => ArbiterPolicy::Fcfs,
             1 => ArbiterPolicy::RowFcfs,
             2 => ArbiterPolicy::RoundRobin,
@@ -77,35 +74,36 @@ proptest! {
             _ => ArbiterPolicy::Sfq { shares },
         };
         let mut arb = policy.build(2);
-        let mut rng = SplitMix64::new(seed);
         let mut submitted = std::collections::BTreeSet::new();
         let mut granted = std::collections::BTreeSet::new();
         let mut id = 0u64;
         for now in 0..2000u64 {
             if rng.chance(0.4) {
                 id += 1;
-                let t = ThreadId(rng.below(2) as u8);
+                let t = gen::thread_id(rng, 2);
                 arb.enqueue(ArbRequest::new(id, t, AccessKind::Read, 8), now);
                 submitted.insert(id);
             }
             if rng.chance(0.4) {
                 if let Some(g) = arb.select(now) {
-                    prop_assert!(granted.insert(g.id), "request {} granted twice", g.id);
+                    ensure!(granted.insert(g.id), "request {} granted twice", g.id);
                 }
             }
         }
         while let Some(g) = arb.select(3000) {
-            prop_assert!(granted.insert(g.id), "request {} granted twice", g.id);
+            ensure!(granted.insert(g.id), "request {} granted twice", g.id);
         }
-        prop_assert_eq!(submitted, granted, "every request granted exactly once");
-        prop_assert!(arb.is_empty());
-    }
+        ensure_eq!(submitted, granted, "every request granted exactly once");
+        ensure!(arb.is_empty());
+        Ok(())
+    });
+}
 
-    /// Round robin visits backlogged threads in strict rotation.
-    #[test]
-    fn round_robin_is_fair_per_request(seed in any::<u64>()) {
+/// Round robin visits backlogged threads in strict rotation.
+#[test]
+fn round_robin_is_fair_per_request() {
+    check::forall("round_robin_is_fair_per_request", Config::cases(20), |rng| {
         let mut arb = ArbiterPolicy::RoundRobin.build(4);
-        let mut rng = SplitMix64::new(seed);
         let mut id = 0u64;
         // Keep all four threads backlogged; over 4k grants each thread
         // receives exactly 1k.
@@ -115,8 +113,7 @@ proptest! {
             for t in 0..4u8 {
                 while queued[t as usize] < 2 {
                     id += 1;
-                    let kind =
-                        if rng.chance(0.5) { AccessKind::Read } else { AccessKind::Write };
+                    let kind = gen::access_kind(rng);
                     arb.enqueue(ArbRequest::new(id, ThreadId(t), kind, 8), now);
                     queued[t as usize] += 1;
                 }
@@ -126,7 +123,8 @@ proptest! {
             grants[g.thread.index()] += 1;
         }
         for t in 0..4 {
-            prop_assert_eq!(grants[t], 1000, "thread {} grants {:?}", t, grants);
+            ensure_eq!(grants[t], 1000, "thread {t} grants {grants:?}");
         }
-    }
+        Ok(())
+    });
 }

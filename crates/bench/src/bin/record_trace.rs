@@ -35,6 +35,9 @@ fn main() -> ExitCode {
             }
         },
     };
-    print!("# {count} ops of {name}, recorded by record_trace\n{}", record(workload.as_mut(), count));
+    print!(
+        "# {count} ops of {name}, recorded by record_trace\n{}",
+        record(workload.as_mut(), count)
+    );
     ExitCode::SUCCESS
 }

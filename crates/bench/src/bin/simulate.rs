@@ -36,11 +36,11 @@ fn parse_workload(name: &str) -> Result<WorkloadSpec, String> {
         "Loads" | "loads" => Ok(WorkloadSpec::Loads),
         "Stores" | "stores" => Ok(WorkloadSpec::Stores),
         "idle" => Ok(WorkloadSpec::Idle),
-        other => SPEC_NAMES
-            .iter()
-            .find(|&&b| b == other)
-            .map(|&b| WorkloadSpec::Spec(b))
-            .ok_or_else(|| format!("unknown workload {other:?} (SPEC names, Loads, Stores, idle)")),
+        other => {
+            SPEC_NAMES.iter().find(|&&b| b == other).map(|&b| WorkloadSpec::Spec(b)).ok_or_else(
+                || format!("unknown workload {other:?} (SPEC names, Loads, Stores, idle)"),
+            )
+        }
     }
 }
 
@@ -62,9 +62,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |flag: &str| {
-            it.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
             "--workloads" => {
                 args.workloads = value("--workloads")?

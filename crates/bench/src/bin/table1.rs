@@ -6,9 +6,18 @@ fn main() {
     let cfg = CmpConfig::table1();
     println!("== Table 1: 2 GHz CMP System Configuration ==");
     println!("Processors            : {} processors", cfg.processors);
-    println!("Reorder buffer        : {} instructions (20 dispatch groups x 5)", cfg.core.rob_entries);
-    println!("Dispatch / retire     : {} / {} per cycle", cfg.core.dispatch_width, cfg.core.retire_width);
-    println!("Load / store queues   : {} entry LRQ, {} entry SRQ", cfg.core.lrq_entries, cfg.core.srq_entries);
+    println!(
+        "Reorder buffer        : {} instructions (20 dispatch groups x 5)",
+        cfg.core.rob_entries
+    );
+    println!(
+        "Dispatch / retire     : {} / {} per cycle",
+        cfg.core.dispatch_width, cfg.core.retire_width
+    );
+    println!(
+        "Load / store queues   : {} entry LRQ, {} entry SRQ",
+        cfg.core.lrq_entries, cfg.core.srq_entries
+    );
     println!(
         "D-cache               : {} sets x {} ways x {} B lines, {} cycle latency, {} MSHRs, {}-entry LMQ",
         cfg.core.l1.sets, cfg.core.l1.ways, cfg.core.l1.line_bytes, cfg.core.l1.latency,

@@ -8,6 +8,8 @@
 
 use vpc::experiments::RunBudget;
 
+pub mod harness;
+
 /// Parses the standard CLI: `--quick` selects short windows.
 pub fn budget_from_args() -> RunBudget {
     let quick = std::env::args().any(|a| a == "--quick")

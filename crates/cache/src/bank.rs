@@ -129,7 +129,12 @@ impl L2Bank {
         };
         let ports = (0..cfg.threads)
             .map(|t| {
-                ThreadPort::new(ThreadId(t as u8), cfg.sgb_entries, cfg.sgb_retire_at, cfg.sgb_idle_drain)
+                ThreadPort::new(
+                    ThreadId(t as u8),
+                    cfg.sgb_entries,
+                    cfg.sgb_retire_at,
+                    cfg.sgb_idle_drain,
+                )
             })
             .collect();
         L2Bank {
@@ -200,7 +205,12 @@ impl L2Bank {
         let mut parts = 0u8;
         if self.cfg.extra_tag_accesses_per_miss >= 1 {
             self.tag.enqueue(
-                ArbRequest::new(arb_id(sm_idx, phase::TAG_FILL), sm.thread, sm.kind, self.cfg.tag_latency),
+                ArbRequest::new(
+                    arb_id(sm_idx, phase::TAG_FILL),
+                    sm.thread,
+                    sm.kind,
+                    self.cfg.tag_latency,
+                ),
                 now,
             );
             parts += 1;
@@ -218,7 +228,12 @@ impl L2Bank {
         parts += 1;
         if sm.kind.is_read() {
             self.bus.enqueue(
-                ArbRequest::new(arb_id(sm_idx, phase::BUS_FILL), sm.thread, AccessKind::Read, self.cfg.bus_latency),
+                ArbRequest::new(
+                    arb_id(sm_idx, phase::BUS_FILL),
+                    sm.thread,
+                    AccessKind::Read,
+                    self.cfg.bus_latency,
+                ),
                 now,
             );
             parts += 1;
@@ -285,7 +300,9 @@ impl L2Bank {
     }
 
     /// Busy-cycle meters for (tag array, data array, data bus).
-    pub fn meters(&self) -> (vpc_sim::UtilizationMeter, vpc_sim::UtilizationMeter, vpc_sim::UtilizationMeter) {
+    pub fn meters(
+        &self,
+    ) -> (vpc_sim::UtilizationMeter, vpc_sim::UtilizationMeter, vpc_sim::UtilizationMeter) {
         (self.tag.meter(), self.data.meter(), self.bus.meter())
     }
 
@@ -366,7 +383,8 @@ impl L2Bank {
             Completion::Bus => self.free_sm(sm_idx),
             Completion::Castout => {
                 self.stats.castouts.inc();
-                let victim = self.castout_lines[sm_idx].take().expect("castout line recorded at miss");
+                let victim =
+                    self.castout_lines[sm_idx].take().expect("castout line recorded at miss");
                 let token = self.make_token();
                 self.mem_out.push_back(MemRequest {
                     thread: sm.thread,
@@ -442,7 +460,12 @@ impl L2Bank {
     fn after_victim(&mut self, sm_idx: usize, sm: Sm, now: Cycle) {
         if self.cfg.extra_tag_accesses_per_miss >= 2 {
             self.tag.enqueue(
-                ArbRequest::new(arb_id(sm_idx, phase::TAG_VICTIM), sm.thread, sm.kind, self.cfg.tag_latency),
+                ArbRequest::new(
+                    arb_id(sm_idx, phase::TAG_VICTIM),
+                    sm.thread,
+                    sm.kind,
+                    self.cfg.tag_latency,
+                ),
                 now,
             );
             self.set_state(sm_idx, SmState::VictimTag);
@@ -486,7 +509,8 @@ impl L2Bank {
             if conflict {
                 continue;
             }
-            let sm_idx = self.sms.iter().position(Option::is_none).expect("SM pool has a free slot");
+            let sm_idx =
+                self.sms.iter().position(Option::is_none).expect("SM pool has a free slot");
             let req = candidate.request;
             self.sms[sm_idx] = Some(Sm {
                 thread: req.thread,
@@ -499,7 +523,12 @@ impl L2Bank {
             self.sm_used[t] += 1;
             self.ports[t].take_candidate(&candidate, now);
             self.tag.enqueue(
-                ArbRequest::new(arb_id(sm_idx, phase::TAG_LOOKUP), req.thread, req.kind, self.cfg.tag_latency),
+                ArbRequest::new(
+                    arb_id(sm_idx, phase::TAG_LOOKUP),
+                    req.thread,
+                    req.kind,
+                    self.cfg.tag_latency,
+                ),
                 now,
             );
             self.rr_next = (t + 1) % threads;

@@ -184,7 +184,12 @@ impl SharedL2 {
     /// Reconfigures `thread`'s bandwidth share `beta` on every bank's
     /// arbiters and its way quota to `alpha * ways`. Returns `false` if
     /// either mechanism is not QoS-capable in this configuration.
-    pub fn reconfigure(&mut self, thread: ThreadId, beta: vpc_sim::Share, alpha: vpc_sim::Share) -> bool {
+    pub fn reconfigure(
+        &mut self,
+        thread: ThreadId,
+        beta: vpc_sim::Share,
+        alpha: vpc_sim::Share,
+    ) -> bool {
         let ways = alpha.of_ways(self.cfg.ways as u32);
         let mut ok = true;
         for bank in &mut self.banks {
@@ -213,14 +218,28 @@ mod tests {
     }
 
     fn read(thread: u8, line: u64, token: u64) -> CacheRequest {
-        CacheRequest { thread: ThreadId(thread), line: LineAddr(line), kind: AccessKind::Read, token }
+        CacheRequest {
+            thread: ThreadId(thread),
+            line: LineAddr(line),
+            kind: AccessKind::Read,
+            token,
+        }
     }
 
     fn write(thread: u8, line: u64, token: u64) -> CacheRequest {
-        CacheRequest { thread: ThreadId(thread), line: LineAddr(line), kind: AccessKind::Write, token }
+        CacheRequest {
+            thread: ThreadId(thread),
+            line: LineAddr(line),
+            kind: AccessKind::Write,
+            token,
+        }
     }
 
-    fn run_until_response(l2: &mut SharedL2, start: Cycle, deadline: Cycle) -> Option<(Cycle, CacheResponse)> {
+    fn run_until_response(
+        l2: &mut SharedL2,
+        start: Cycle,
+        deadline: Cycle,
+    ) -> Option<(Cycle, CacheResponse)> {
         for now in start..deadline {
             l2.tick(now);
             if let Some(resp) = l2.pop_response(now) {
@@ -381,7 +400,12 @@ mod consistency_tests {
         let mut l2 = SharedL2::new(cfg, MemConfig::ddr2_800());
         // Thread 0 writes line 8 (a miss: write-allocate fetch, slow).
         l2.submit(
-            CacheRequest { thread: ThreadId(0), line: LineAddr(8), kind: AccessKind::Write, token: 1 },
+            CacheRequest {
+                thread: ThreadId(0),
+                line: LineAddr(8),
+                kind: AccessKind::Write,
+                token: 1,
+            },
             0,
         );
         // Give the write time to reach the controller and start its miss.
@@ -393,7 +417,12 @@ mod consistency_tests {
         // Thread 1 reads the same line; under RoW-FCFS the read would love
         // to jump ahead, but the conflict check must hold it.
         l2.submit(
-            CacheRequest { thread: ThreadId(1), line: LineAddr(8), kind: AccessKind::Read, token: 2 },
+            CacheRequest {
+                thread: ThreadId(1),
+                line: LineAddr(8),
+                kind: AccessKind::Read,
+                token: 2,
+            },
             now,
         );
         let mut read_done_at = None;
@@ -497,7 +526,12 @@ mod microarch_tests {
                 now += 1;
             }
             l2.submit(
-                CacheRequest { thread: ThreadId(0), line: LineAddr(i * 2), kind: AccessKind::Write, token: i },
+                CacheRequest {
+                    thread: ThreadId(0),
+                    line: LineAddr(i * 2),
+                    kind: AccessKind::Write,
+                    token: i,
+                },
                 now,
             );
         }
@@ -510,7 +544,12 @@ mod microarch_tests {
         // A sixth store hits the mark; retirement begins well before the
         // 50-cycle idle drain would fire for it.
         l2.submit(
-            CacheRequest { thread: ThreadId(0), line: LineAddr(10), kind: AccessKind::Write, token: 9 },
+            CacheRequest {
+                thread: ThreadId(0),
+                line: LineAddr(10),
+                kind: AccessKind::Write,
+                token: 9,
+            },
             now,
         );
         for _ in 0..20 {
@@ -531,7 +570,12 @@ mod microarch_tests {
         let cap = l2.config().input_queue_cap;
         for i in 0..cap as u64 {
             l2.submit(
-                CacheRequest { thread: ThreadId(0), line: LineAddr(i * 2), kind: AccessKind::Read, token: i },
+                CacheRequest {
+                    thread: ThreadId(0),
+                    line: LineAddr(i * 2),
+                    kind: AccessKind::Read,
+                    token: i,
+                },
                 0,
             );
         }

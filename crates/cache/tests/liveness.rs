@@ -3,12 +3,11 @@
 //! writes all retire, and the system drains to idle — under every arbiter
 //! and capacity policy combination.
 
-use proptest::prelude::*;
-
 use vpc_arbiters::ArbiterPolicy;
 use vpc_cache::{CapacityPolicy, L2Config, SharedL2};
 use vpc_mem::MemConfig;
-use vpc_sim::{AccessKind, CacheRequest, LineAddr, SplitMix64, ThreadId};
+use vpc_sim::check::{self, Config};
+use vpc_sim::{ensure, ensure_eq, AccessKind, CacheRequest, LineAddr, ThreadId};
 
 fn small_cfg(threads: usize, arbiter: ArbiterPolicy, capacity: CapacityPolicy) -> L2Config {
     let mut cfg = L2Config::table1(threads, arbiter);
@@ -28,23 +27,18 @@ fn arbiter_policy(which: u8, threads: usize) -> ArbiterPolicy {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Fire random reads and writes from 4 threads into a tiny, heavily
-    /// conflicting cache; every read must be answered exactly once and the
-    /// whole system must drain.
-    #[test]
-    fn random_traffic_always_drains(seed in any::<u64>(), which in 0u8..8) {
+/// Fire random reads and writes from 4 threads into a tiny, heavily
+/// conflicting cache; every read must be answered exactly once and the
+/// whole system must drain.
+#[test]
+fn random_traffic_always_drains() {
+    check::forall("random_traffic_always_drains", Config::cases(24), |rng| {
         let threads = 4;
-        let capacity = if which < 4 {
-            CapacityPolicy::Lru
-        } else {
-            CapacityPolicy::vpc_equal(threads)
-        };
+        let which = rng.below(8) as u8;
+        let capacity =
+            if which < 4 { CapacityPolicy::Lru } else { CapacityPolicy::vpc_equal(threads) };
         let cfg = small_cfg(threads, arbiter_policy(which, threads), capacity);
         let mut l2 = SharedL2::new(cfg, MemConfig::ddr2_800());
-        let mut rng = SplitMix64::new(seed);
 
         let mut next_token = 0u64;
         let mut outstanding_reads = std::collections::BTreeSet::new();
@@ -75,7 +69,7 @@ proptest! {
             }
             l2.tick(now);
             while let Some(resp) = l2.pop_response(now) {
-                prop_assert!(
+                ensure!(
                     outstanding_reads.remove(&resp.token),
                     "duplicate or unknown response token {}",
                     resp.token
@@ -89,18 +83,18 @@ proptest! {
         while !l2.is_idle() && now < deadline {
             l2.tick(now);
             while let Some(resp) = l2.pop_response(now) {
-                prop_assert!(outstanding_reads.remove(&resp.token));
+                ensure!(outstanding_reads.remove(&resp.token));
                 answered += 1;
             }
             now += 1;
         }
-        prop_assert!(l2.is_idle(), "system failed to drain by cycle {now}");
-        prop_assert!(outstanding_reads.is_empty(), "unanswered reads: {outstanding_reads:?}");
-        prop_assert_eq!(answered, submitted_reads, "every read answered exactly once");
+        ensure!(l2.is_idle(), "system failed to drain by cycle {now}");
+        ensure!(outstanding_reads.is_empty(), "unanswered reads: {outstanding_reads:?}");
+        ensure_eq!(answered, submitted_reads, "every read answered exactly once");
 
         // Conservation: L2 transactions match what was submitted.
         let stats = l2.stats();
-        prop_assert_eq!(
+        ensure_eq!(
             stats.read_hits.get() + stats.read_misses.get(),
             submitted_reads,
             "read transactions conserved"
@@ -112,17 +106,23 @@ proptest! {
             port_writes += l2.port_stats(ThreadId(t as u8)).writes_out.get()
                 + l2.port_stats(ThreadId(t as u8)).stores_gathered.get();
         }
-        prop_assert_eq!(port_writes, submitted_writes, "every store gathered or retired");
-    }
+        ensure_eq!(port_writes, submitted_writes, "every store gathered or retired");
+        Ok(())
+    });
+}
 
-    /// Same-line hammering from all threads at once: the conflict check
-    /// serializes state machines but must never deadlock.
-    #[test]
-    fn same_line_contention_never_deadlocks(seed in any::<u64>()) {
+/// Same-line hammering from all threads at once: the conflict check
+/// serializes state machines but must never deadlock.
+#[test]
+fn same_line_contention_never_deadlocks() {
+    check::forall("same_line_contention_never_deadlocks", Config::cases(24), |rng| {
         let threads = 4;
-        let cfg = small_cfg(threads, ArbiterPolicy::vpc_equal(threads), CapacityPolicy::vpc_equal(threads));
+        let cfg = small_cfg(
+            threads,
+            ArbiterPolicy::vpc_equal(threads),
+            CapacityPolicy::vpc_equal(threads),
+        );
         let mut l2 = SharedL2::new(cfg, MemConfig::ddr2_800());
-        let mut rng = SplitMix64::new(seed);
         let mut now = 0u64;
         let mut token = 0u64;
         let mut outstanding = 0i64;
@@ -151,7 +151,8 @@ proptest! {
             }
             now += 1;
         }
-        prop_assert!(l2.is_idle(), "contended system failed to drain");
-        prop_assert_eq!(outstanding, 0, "all contended reads answered");
-    }
+        ensure!(l2.is_idle(), "contended system failed to drain");
+        ensure_eq!(outstanding, 0, "all contended reads answered");
+        Ok(())
+    });
 }

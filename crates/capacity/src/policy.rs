@@ -124,7 +124,8 @@ impl ReplacementPolicy for VpcCapacityManager {
             let quota = i64::from(self.quotas[t]);
             if occ > quota {
                 if let Some(way) = set.lru_of_thread(thread) {
-                    let touch = set.iter().find(|(i, _)| *i == way).map(|(_, w)| w.last_touch).unwrap_or(0);
+                    let touch =
+                        set.iter().find(|(i, _)| *i == way).map(|(_, w)| w.last_touch).unwrap_or(0);
                     let over_by = occ - quota;
                     let better = match (candidate, self.tie_break) {
                         (None, _) => true,
@@ -155,8 +156,8 @@ impl ReplacementPolicy for VpcCapacityManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use vpc_sim::{LineAddr, SplitMix64};
+    use vpc_sim::check::{self, Config};
+    use vpc_sim::{ensure, ensure_eq, LineAddr};
 
     fn filled_set(entries: &[(u64, u8, u64)]) -> TagSet {
         // (line, owner, last_touch)
@@ -207,10 +208,14 @@ mod tests {
     #[test]
     fn tie_break_global_lru() {
         // Threads 1 and 2 both over quota; GlobalLru picks the older line.
-        let policy = VpcCapacityManager::new(&[2, 1, 1]).with_tie_break(OverQuotaTieBreak::GlobalLru);
+        let policy =
+            VpcCapacityManager::new(&[2, 1, 1]).with_tie_break(OverQuotaTieBreak::GlobalLru);
         let set = filled_set(&[(1, 1, 4), (2, 1, 8), (3, 2, 2), (4, 2, 6)]);
         let victim = policy.choose_victim(&set, ThreadId(0));
-        assert_eq!(victim, 2, "thread 2's LRU (touch 2) is globally older than thread 1's (touch 4)");
+        assert_eq!(
+            victim, 2,
+            "thread 2's LRU (touch 2) is globally older than thread 1's (touch 4)"
+        );
     }
 
     #[test]
@@ -274,15 +279,12 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Isolation guarantee: under the VPC capacity manager, an insert by
-        /// thread j never evicts thread i's line while i is at or below its
-        /// quota (i != j).
-        #[test]
-        fn never_evicts_thread_at_or_below_quota(seed in any::<u64>()) {
-            let mut rng = SplitMix64::new(seed);
+    /// Isolation guarantee: under the VPC capacity manager, an insert by
+    /// thread j never evicts thread i's line while i is at or below its
+    /// quota (i != j).
+    #[test]
+    fn never_evicts_thread_at_or_below_quota() {
+        check::forall("never_evicts_thread_at_or_below_quota", Config::cases(48), |rng| {
             let ways = 8;
             let policy = VpcCapacityManager::new(&[3, 3, 2]);
             let mut set = TagSet::new(ways);
@@ -298,23 +300,22 @@ mod tests {
                     if owner != t {
                         let occ = set.occupancy(owner);
                         let quota = policy.quota(owner) as usize;
-                        prop_assert!(
-                            occ > quota,
-                            "evicted {owner} at occupancy {occ} <= quota {quota}"
-                        );
+                        ensure!(occ > quota, "evicted {owner} at occupancy {occ} <= quota {quota}");
                     }
                 }
                 set.fill(victim, line, t, now);
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// QoS inclusion: a thread's hits in the shared VPC-managed set are a
-        /// superset of its hits in a private set with quota ways — the "a VPC
-        /// performs at least as well as the equivalent real private cache"
-        /// property, at the capacity level.
-        #[test]
-        fn shared_vpc_hits_superset_of_private(seed in any::<u64>()) {
-            let mut rng = SplitMix64::new(seed);
+    /// QoS inclusion: a thread's hits in the shared VPC-managed set are a
+    /// superset of its hits in a private set with quota ways — the "a VPC
+    /// performs at least as well as the equivalent real private cache"
+    /// property, at the capacity level.
+    #[test]
+    fn shared_vpc_hits_superset_of_private() {
+        check::forall("shared_vpc_hits_superset_of_private", Config::cases(48), |rng| {
             let ways = 8;
             let quotas = [4u32, 2, 2];
             let policy = VpcCapacityManager::new(&quotas);
@@ -328,7 +329,7 @@ mod tests {
                 let line = LineAddr(rng.below(12) + 1000 * t as u64);
                 let private_hit = privates[t].access(line, now);
                 let shared_hit = shared.lookup(line).is_some();
-                prop_assert!(
+                ensure!(
                     !private_hit || shared_hit,
                     "line {line} hit in private cache but missed in shared VPC set"
                 );
@@ -340,13 +341,15 @@ mod tests {
                     }
                 }
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// With a single thread owning all ways, the VPC manager degenerates
-        /// to true LRU.
-        #[test]
-        fn single_thread_full_quota_is_lru(seed in any::<u64>()) {
-            let mut rng = SplitMix64::new(seed);
+    /// With a single thread owning all ways, the VPC manager degenerates
+    /// to true LRU.
+    #[test]
+    fn single_thread_full_quota_is_lru() {
+        check::forall("single_thread_full_quota_is_lru", Config::cases(48), |rng| {
             let ways = 4;
             let policy = VpcCapacityManager::new(&[4]);
             let mut vpc_set = TagSet::new(ways);
@@ -367,8 +370,9 @@ mod tests {
                 }
                 let vpc_lines: Vec<_> = vpc_set.iter().map(|(_, w)| w.line).collect();
                 let lru_lines: Vec<_> = lru_set.iter().map(|(_, w)| w.line).collect();
-                prop_assert_eq!(vpc_lines, lru_lines);
+                ensure_eq!(vpc_lines, lru_lines);
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -98,17 +98,22 @@ impl TagSet {
 
     /// Installs `line` (owned by `owner`, clean) into `way`, returning the
     /// displaced line if the way was valid.
-    pub fn fill(&mut self, way: usize, line: LineAddr, owner: ThreadId, now: Cycle) -> Option<Eviction> {
-        let evicted = self.ways[way].map(|w| Eviction { line: w.line, owner: w.owner, dirty: w.dirty });
+    pub fn fill(
+        &mut self,
+        way: usize,
+        line: LineAddr,
+        owner: ThreadId,
+        now: Cycle,
+    ) -> Option<Eviction> {
+        let evicted =
+            self.ways[way].map(|w| Eviction { line: w.line, owner: w.owner, dirty: w.dirty });
         self.ways[way] = Some(Way { line, owner, last_touch: now, dirty: false });
         evicted
     }
 
     /// Invalidates way `way` (used by tests and flush paths).
     pub fn invalidate(&mut self, way: usize) -> Option<Eviction> {
-        self.ways[way]
-            .take()
-            .map(|w| Eviction { line: w.line, owner: w.owner, dirty: w.dirty })
+        self.ways[way].take().map(|w| Eviction { line: w.line, owner: w.owner, dirty: w.dirty })
     }
 
     /// The owner of way `way`, if valid.
@@ -220,8 +225,8 @@ mod tests {
 mod inclusion_tests {
     use super::*;
     use crate::policy::TrueLru;
-    use proptest::prelude::*;
-    use vpc_sim::SplitMix64;
+    use vpc_sim::check::{self, gen, Config};
+    use vpc_sim::ensure;
 
     /// Runs an access trace through an LRU set of the given associativity
     /// and returns, per access, whether it hit.
@@ -245,20 +250,21 @@ mod inclusion_tests {
         hits
     }
 
-    proptest! {
-        /// The classic LRU stack (inclusion) property: every hit in a
-        /// k-way set is also a hit in a 2k-way set on the same trace —
-        /// the property that makes way partitioning performance-monotone
-        /// (paper §4.3).
-        #[test]
-        fn lru_inclusion_property(seed in any::<u64>(), ways in 1usize..=8) {
-            let mut rng = SplitMix64::new(seed);
+    /// The classic LRU stack (inclusion) property: every hit in a
+    /// k-way set is also a hit in a 2k-way set on the same trace —
+    /// the property that makes way partitioning performance-monotone
+    /// (paper §4.3).
+    #[test]
+    fn lru_inclusion_property() {
+        check::forall("lru_inclusion_property", Config::cases(256), |rng| {
+            let ways = gen::range(rng, 1, 8) as usize;
             let trace: Vec<u64> = (0..400).map(|_| rng.below(24)).collect();
             let small = run_lru(&trace, ways);
             let large = run_lru(&trace, ways * 2);
             for (i, (&s, &l)) in small.iter().zip(large.iter()).enumerate() {
-                prop_assert!(!s || l, "access {i}: hit in {ways}-way but miss in {}-way", ways * 2);
+                ensure!(!s || l, "access {i}: hit in {ways}-way but miss in {}-way", ways * 2);
             }
-        }
+            Ok(())
+        });
     }
 }

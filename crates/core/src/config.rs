@@ -161,9 +161,8 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let cfg = CmpConfig::table1()
-            .with_banks(8)
-            .with_vpc_shares(vec![Share::new(1, 4).unwrap(); 4]);
+        let cfg =
+            CmpConfig::table1().with_banks(8).with_vpc_shares(vec![Share::new(1, 4).unwrap(); 4]);
         assert_eq!(cfg.l2.banks, 8);
         assert_eq!(cfg.l2.arbiter.label(), "VPC");
     }

@@ -54,9 +54,8 @@ impl fmt::Display for ReorderResult {
 pub fn reorder(base: &CmpConfig, budget: RunBudget) -> ReorderResult {
     let half = Share::new(1, 2).expect("half share");
     let run_with = |order: IntraThreadOrder| {
-        let mut cfg = base
-            .clone()
-            .with_arbiter(ArbiterPolicy::Vpc { shares: vec![half, half], order });
+        let mut cfg =
+            base.clone().with_arbiter(ArbiterPolicy::Vpc { shares: vec![half, half], order });
         cfg.processors = 2;
         cfg.l2.threads = 2;
         cfg.l2.capacity = CapacityPolicy::vpc_equal(2);
@@ -165,7 +164,8 @@ pub fn preemption(base: &CmpConfig, budget: RunBudget) -> PreemptionResult {
         .map(|&lat| {
             let mut cfg = base.clone();
             cfg.l2.data_latency = lat;
-            let run_cfg = cfg.clone().with_arbiter(crate::experiments::fig9::subject_share_policy(1, 2));
+            let run_cfg =
+                cfg.clone().with_arbiter(crate::experiments::fig9::subject_share_policy(1, 2));
             let workloads = [
                 WorkloadSpec::Spec("mcf"),
                 WorkloadSpec::Stores,
@@ -215,7 +215,11 @@ impl fmt::Display for MemoryFqResult {
         writeln!(f, "  shared channel, FCFS        : subject IPC {:.3}", self.fcfs_ipc)?;
         writeln!(f, "  shared channel, FQ beta=1/4 : subject IPC {:.3}", self.fq_equal_ipc)?;
         writeln!(f, "  shared channel, FQ beta=1/2 : subject IPC {:.3}", self.fq_half_ipc)?;
-        writeln!(f, "  private channel             : subject IPC {:.3} (isolation reference)", self.private_ipc)
+        writeln!(
+            f,
+            "  private channel             : subject IPC {:.3} (isolation reference)",
+            self.private_ipc
+        )
     }
 }
 
@@ -230,10 +234,8 @@ impl fmt::Display for MemoryFqResult {
 /// FCFS even though its bandwidth share is guaranteed.
 pub fn memory_fq(base: &CmpConfig, budget: RunBudget) -> MemoryFqResult {
     let run_with = |channels: ChannelMode| {
-        let mut cfg = base
-            .clone()
-            .with_arbiter(ArbiterPolicy::vpc_equal(4))
-            .with_channels(channels);
+        let mut cfg =
+            base.clone().with_arbiter(ArbiterPolicy::vpc_equal(4)).with_channels(channels);
         cfg.processors = 4;
         cfg.l2.threads = 4;
         let workloads = [
@@ -251,9 +253,7 @@ pub fn memory_fq(base: &CmpConfig, budget: RunBudget) -> MemoryFqResult {
     MemoryFqResult {
         fcfs_ipc: run_with(ChannelMode::SharedFcfs),
         fq_equal_ipc: run_with(ChannelMode::SharedFq { shares: vec![quarter; 4] }),
-        fq_half_ipc: run_with(ChannelMode::SharedFq {
-            shares: vec![half, sixth, sixth, sixth],
-        }),
+        fq_half_ipc: run_with(ChannelMode::SharedFq { shares: vec![half, sixth, sixth, sixth] }),
         private_ipc: run_with(ChannelMode::PerThread),
     }
 }
@@ -293,8 +293,13 @@ impl fmt::Display for FairnessResult {
         writeln!(
             f,
             "{:<6} {:>10} {:>11} {:>12} (targets: {:.3} / {:.3} / {:.3})",
-            "policy", "Loads IPC", "Stores IPC", "subject IPC",
-            self.loads_target, self.stores_target, self.subject_target
+            "policy",
+            "Loads IPC",
+            "Stores IPC",
+            "subject IPC",
+            self.loads_target,
+            self.stores_target,
+            self.subject_target
         )?;
         for r in &self.rows {
             writeln!(
@@ -358,8 +363,22 @@ pub fn fairness_policies(base: &CmpConfig, budget: RunBudget) -> FairnessResult 
         .collect();
     FairnessResult {
         rows,
-        loads_target: target_ipc(base, WorkloadSpec::Loads, half, half, budget.warmup, budget.window),
-        stores_target: target_ipc(base, WorkloadSpec::Stores, half, half, budget.warmup, budget.window),
+        loads_target: target_ipc(
+            base,
+            WorkloadSpec::Loads,
+            half,
+            half,
+            budget.warmup,
+            budget.window,
+        ),
+        stores_target: target_ipc(
+            base,
+            WorkloadSpec::Stores,
+            half,
+            half,
+            budget.warmup,
+            budget.window,
+        ),
         subject_target: target_ipc(
             base,
             WorkloadSpec::Spec("mcf"),
@@ -455,7 +474,11 @@ impl fmt::Display for ScalingResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Ablation: scaling (equal-share VPC, gcc on every thread)")?;
         for (threads, met) in &self.points {
-            writeln!(f, "  {threads} threads -> {:.0}% of threads meet their 1/{threads} target", met * 100.0)?;
+            writeln!(
+                f,
+                "  {threads} threads -> {:.0}% of threads meet their 1/{threads} target",
+                met * 100.0
+            )?;
         }
         Ok(())
     }
@@ -518,7 +541,11 @@ pub struct WorkConservationResult {
 impl fmt::Display for WorkConservationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Ablation: work conservation (Loads at beta=1/2)")?;
-        writeln!(f, "  busy partner: IPC {:.3} (guarantee {:.3})", self.busy_partner_ipc, self.half_target)?;
+        writeln!(
+            f,
+            "  busy partner: IPC {:.3} (guarantee {:.3})",
+            self.busy_partner_ipc, self.half_target
+        )?;
         writeln!(
             f,
             "  idle partner: IPC {:.3} (ceiling {:.3}) — excess bandwidth redistributed",
@@ -532,12 +559,10 @@ impl fmt::Display for WorkConservationResult {
 pub fn work_conservation(base: &CmpConfig, budget: RunBudget) -> WorkConservationResult {
     let half = Share::new(1, 2).expect("half");
     let run_with = |partner: WorkloadSpec| {
-        let mut cfg = base
-            .clone()
-            .with_arbiter(ArbiterPolicy::Vpc {
-                shares: vec![half, half],
-                order: IntraThreadOrder::ReadOverWrite,
-            });
+        let mut cfg = base.clone().with_arbiter(ArbiterPolicy::Vpc {
+            shares: vec![half, half],
+            order: IntraThreadOrder::ReadOverWrite,
+        });
         cfg.processors = 2;
         cfg.l2.threads = 2;
         cfg.l2.capacity = CapacityPolicy::vpc_equal(2);
@@ -548,8 +573,22 @@ pub fn work_conservation(base: &CmpConfig, budget: RunBudget) -> WorkConservatio
     WorkConservationResult {
         busy_partner_ipc: run_with(WorkloadSpec::Stores),
         idle_partner_ipc: run_with(WorkloadSpec::Idle),
-        half_target: target_ipc(base, WorkloadSpec::Loads, half, half, budget.warmup, budget.window),
-        full_target: target_ipc(base, WorkloadSpec::Loads, Share::FULL, half, budget.warmup, budget.window),
+        half_target: target_ipc(
+            base,
+            WorkloadSpec::Loads,
+            half,
+            half,
+            budget.warmup,
+            budget.window,
+        ),
+        full_target: target_ipc(
+            base,
+            WorkloadSpec::Loads,
+            Share::FULL,
+            half,
+            budget.warmup,
+            budget.window,
+        ),
     }
 }
 
@@ -567,10 +606,7 @@ mod tests {
     fn qos_scales_to_eight_threads() {
         let r = scaling(&quick_base(), RunBudget::quick());
         for (threads, met) in &r.points {
-            assert!(
-                *met >= 0.99,
-                "every thread must meet its 1/{threads} target: {r}"
-            );
+            assert!(*met >= 0.99, "every thread must meet its 1/{threads} target: {r}");
         }
     }
 
@@ -647,9 +683,6 @@ mod tests {
     #[test]
     fn capacity_manager_protects_working_set() {
         let r = capacity(&quick_base(), RunBudget::quick());
-        assert!(
-            r.vpc_ipc >= r.lru_ipc * 0.95,
-            "VPC quotas must not hurt the subject: {r}"
-        );
+        assert!(r.vpc_ipc >= r.lru_ipc * 0.95, "VPC quotas must not hurt the subject: {r}");
     }
 }

@@ -99,16 +99,20 @@ pub struct Fig10Result {
 impl Fig10Result {
     /// Mean-of-mixes harmonic-mean improvement, percent (paper: ~14%).
     pub fn hmean_improvement_pct(&self) -> f64 {
-        let fcfs: f64 = self.mixes.iter().map(MixResult::fcfs_hmean).sum::<f64>() / self.mixes.len() as f64;
-        let vpc: f64 = self.mixes.iter().map(MixResult::vpc_hmean).sum::<f64>() / self.mixes.len() as f64;
+        let fcfs: f64 =
+            self.mixes.iter().map(MixResult::fcfs_hmean).sum::<f64>() / self.mixes.len() as f64;
+        let vpc: f64 =
+            self.mixes.iter().map(MixResult::vpc_hmean).sum::<f64>() / self.mixes.len() as f64;
         improvement_pct(fcfs, vpc)
     }
 
     /// Mean-of-mixes minimum-normalized-IPC improvement, percent (paper:
     /// ~25%).
     pub fn min_improvement_pct(&self) -> f64 {
-        let fcfs: f64 = self.mixes.iter().map(MixResult::fcfs_min).sum::<f64>() / self.mixes.len() as f64;
-        let vpc: f64 = self.mixes.iter().map(MixResult::vpc_min).sum::<f64>() / self.mixes.len() as f64;
+        let fcfs: f64 =
+            self.mixes.iter().map(MixResult::fcfs_min).sum::<f64>() / self.mixes.len() as f64;
+        let vpc: f64 =
+            self.mixes.iter().map(MixResult::vpc_min).sum::<f64>() / self.mixes.len() as f64;
         improvement_pct(fcfs, vpc)
     }
 
@@ -164,12 +168,21 @@ impl fmt::Display for Fig10Result {
             ws_fcfs,
             ws_vpc,
         )?;
-        writeln!(f, "threads meeting their QoS target under VPC: {:.0}%", self.vpc_qos_met(0.05) * 100.0)
+        writeln!(
+            f,
+            "threads meeting their QoS target under VPC: {:.0}%",
+            self.vpc_qos_met(0.05) * 100.0
+        )
     }
 }
 
 /// Runs one mix under `arbiter`, returning the four raw IPCs.
-pub fn run_mix(base: &CmpConfig, mix: &[&'static str; 4], arbiter: ArbiterPolicy, budget: RunBudget) -> Vec<f64> {
+pub fn run_mix(
+    base: &CmpConfig,
+    mix: &[&'static str; 4],
+    arbiter: ArbiterPolicy,
+    budget: RunBudget,
+) -> Vec<f64> {
     let mut cfg = base.clone().with_arbiter(arbiter);
     cfg.processors = 4;
     cfg.l2.threads = 4;
@@ -204,10 +217,16 @@ pub fn standalone_ipcs(base: &CmpConfig, mix: &[&'static str; 4], budget: RunBud
 
 /// Equal-share targets for each benchmark in the mix: the IPC of the
 /// private machine with `beta = alpha = 1/4` (the paper's QoS reference).
-pub fn equal_share_targets(base: &CmpConfig, mix: &[&'static str; 4], budget: RunBudget) -> Vec<f64> {
+pub fn equal_share_targets(
+    base: &CmpConfig,
+    mix: &[&'static str; 4],
+    budget: RunBudget,
+) -> Vec<f64> {
     let quarter = Share::new(1, 4).expect("quarter share");
     mix.iter()
-        .map(|b| target_ipc(base, WorkloadSpec::Spec(b), quarter, quarter, budget.warmup, budget.window))
+        .map(|b| {
+            target_ipc(base, WorkloadSpec::Spec(b), quarter, quarter, budget.warmup, budget.window)
+        })
         .collect()
 }
 

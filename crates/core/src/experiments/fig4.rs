@@ -35,8 +35,16 @@ impl Fig4Result {
 impl fmt::Display for Fig4Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 4: back-to-back reads to different cache banks")?;
-        writeln!(f, "  read to bank 1: critical word after {:2} cycles (paper: 16)", self.first_latency)?;
-        writeln!(f, "  read to bank 2: critical word after {:2} cycles (paper: ~18, pipelined)", self.second_latency)?;
+        writeln!(
+            f,
+            "  read to bank 1: critical word after {:2} cycles (paper: 16)",
+            self.first_latency
+        )?;
+        writeln!(
+            f,
+            "  read to bank 2: critical word after {:2} cycles (paper: ~18, pipelined)",
+            self.second_latency
+        )?;
         writeln!(f, "  bank-level overlap saves {} cycles vs. serialized access", self.overlap())
     }
 }

@@ -41,7 +41,11 @@ impl Fig5Result {
 impl fmt::Display for Fig5Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 5: Microbenchmark L2 Cache Utilization")?;
-        writeln!(f, "{:<12} {:>6} {:>10} {:>10} {:>10}", "benchmark", "banks", "data", "bus", "tag")?;
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>10} {:>10} {:>10}",
+            "benchmark", "banks", "data", "bus", "tag"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -54,7 +54,13 @@ impl fmt::Display for Fig7Result {
         writeln!(f, "Figure 7: L2 Writes and Store Gathering Rate")?;
         writeln!(f, "{:<10} {:>12} {:>16}", "benchmark", "L2 writes", "gathering rate")?;
         for r in &self.rows {
-            writeln!(f, "{:<10} {:>12} {:>16}", r.benchmark, pct(r.l2_write_frac), pct(r.gathering_rate))?;
+            writeln!(
+                f,
+                "{:<10} {:>12} {:>16}",
+                r.benchmark,
+                pct(r.l2_write_frac),
+                pct(r.gathering_rate)
+            )?;
         }
         writeln!(
             f,
@@ -100,7 +106,11 @@ mod tests {
                 cfg.l2.threads = 1;
                 let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Spec(b)]);
                 let m = sys.run_measured(budget.warmup, budget.window);
-                Fig7Row { benchmark: b, l2_write_frac: m.l2_write_frac[0], gathering_rate: m.gathering_rate[0] }
+                Fig7Row {
+                    benchmark: b,
+                    l2_write_frac: m.l2_write_frac[0],
+                    gathering_rate: m.gathering_rate[0],
+                }
             })
             .collect()
     }

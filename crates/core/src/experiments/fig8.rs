@@ -91,10 +91,9 @@ pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig8Result {
     let mut rows = Vec::new();
     let alpha = Share::new(1, 2).expect("two threads, equal ways");
 
-    for (label, arbiter) in [
-        ("RoW".to_string(), ArbiterPolicy::RowFcfs),
-        ("FCFS".to_string(), ArbiterPolicy::Fcfs),
-    ] {
+    for (label, arbiter) in
+        [("RoW".to_string(), ArbiterPolicy::RowFcfs), ("FCFS".to_string(), ArbiterPolicy::Fcfs)]
+    {
         let (loads_ipc, stores_ipc, data_util) = run_pair(base, arbiter, budget);
         rows.push(Fig8Row {
             label,
@@ -118,8 +117,22 @@ pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig8Result {
             label: format!("VPC {stores_pct}%"),
             loads_ipc,
             stores_ipc,
-            loads_target: target_ipc(base, WorkloadSpec::Loads, loads_share, alpha, budget.warmup, budget.window),
-            stores_target: target_ipc(base, WorkloadSpec::Stores, stores_share, alpha, budget.warmup, budget.window),
+            loads_target: target_ipc(
+                base,
+                WorkloadSpec::Loads,
+                loads_share,
+                alpha,
+                budget.warmup,
+                budget.window,
+            ),
+            stores_target: target_ipc(
+                base,
+                WorkloadSpec::Stores,
+                stores_share,
+                alpha,
+                budget.warmup,
+                budget.window,
+            ),
             data_util,
         });
     }
@@ -169,8 +182,10 @@ mod tests {
             order: vpc_arbiters::IntraThreadOrder::ReadOverWrite,
         };
         let (loads, stores, _) = run_pair(&base, arbiter, budget);
-        let loads_target = target_ipc(&base, WorkloadSpec::Loads, half, half, budget.warmup, budget.window);
-        let stores_target = target_ipc(&base, WorkloadSpec::Stores, half, half, budget.warmup, budget.window);
+        let loads_target =
+            target_ipc(&base, WorkloadSpec::Loads, half, half, budget.warmup, budget.window);
+        let stores_target =
+            target_ipc(&base, WorkloadSpec::Stores, half, half, budget.warmup, budget.window);
         assert!(
             loads >= loads_target * 0.9,
             "Loads must meet its target: got {loads}, target {loads_target}"

@@ -81,7 +81,10 @@ impl Fig9Result {
 
 impl fmt::Display for Fig9Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9: SPEC subject vs 3x Stores — normalized IPC (1.0 = standalone beta=1 target)")?;
+        writeln!(
+            f,
+            "Figure 9: SPEC subject vs 3x Stores — normalized IPC (1.0 = standalone beta=1 target)"
+        )?;
         writeln!(
             f,
             "{:<10} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10}",
@@ -141,8 +144,12 @@ pub fn run_subject_detailed(
     let mut cfg = base.clone().with_arbiter(arbiter);
     cfg.processors = 4;
     cfg.l2.threads = 4;
-    let workloads =
-        [WorkloadSpec::Spec(benchmark), WorkloadSpec::Stores, WorkloadSpec::Stores, WorkloadSpec::Stores];
+    let workloads = [
+        WorkloadSpec::Spec(benchmark),
+        WorkloadSpec::Stores,
+        WorkloadSpec::Stores,
+        WorkloadSpec::Stores,
+    ];
     let mut sys = CmpSystem::new(cfg, &workloads);
     let m = sys.run_measured(budget.warmup, budget.window);
     (m.ipc[0], m.data_util_per_thread[0])
@@ -155,10 +162,7 @@ pub fn subject_share_policy(num: u32, den: u32) -> ArbiterPolicy {
     let rest = den - num;
     // Each background thread gets (rest/den)/3 = rest/(3*den).
     let bg = Share::new(rest, 3 * den).expect("valid background share");
-    ArbiterPolicy::Vpc {
-        shares: vec![subject, bg, bg, bg],
-        order: IntraThreadOrder::ReadOverWrite,
-    }
+    ArbiterPolicy::Vpc { shares: vec![subject, bg, bg, bg], order: IntraThreadOrder::ReadOverWrite }
 }
 
 /// Runs the full Figure 9 series for the given benchmarks (pass
@@ -171,11 +175,19 @@ pub fn run(base: &CmpConfig, benchmarks: &[&'static str], budget: RunBudget) -> 
             let spec = WorkloadSpec::Spec(benchmark);
             // The beta=1 target normalizes everything.
             let t100 = target_ipc(base, spec, Share::FULL, quarter, budget.warmup, budget.window);
-            let t50 = target_ipc(base, spec, Share::new(1, 2).unwrap(), quarter, budget.warmup, budget.window);
+            let t50 = target_ipc(
+                base,
+                spec,
+                Share::new(1, 2).unwrap(),
+                quarter,
+                budget.warmup,
+                budget.window,
+            );
             let t25 = target_ipc(base, spec, quarter, quarter, budget.warmup, budget.window);
             let norm = |ipc: f64| if t100 > 0.0 { ipc / t100 } else { 0.0 };
 
-            let (fcfs, fcfs_util) = run_subject_detailed(base, benchmark, ArbiterPolicy::Fcfs, budget);
+            let (fcfs, fcfs_util) =
+                run_subject_detailed(base, benchmark, ArbiterPolicy::Fcfs, budget);
             let (vpc25, vpc25_util) =
                 run_subject_detailed(base, benchmark, subject_share_policy(1, 4), budget);
             let (vpc50, vpc50_util) =
@@ -222,10 +234,7 @@ mod tests {
             row.vpc100_norm >= row.vpc50_norm * 0.95 && row.vpc50_norm >= row.vpc25_norm * 0.95,
             "performance should be monotone in share: {row:?}"
         );
-        assert!(
-            row.vpc25_norm >= row.target25_norm * 0.9,
-            "VPC 25% must meet its target: {row:?}"
-        );
+        assert!(row.vpc25_norm >= row.target25_norm * 0.9, "VPC 25% must meet its target: {row:?}");
         assert!(
             row.fcfs_norm < row.vpc100_norm,
             "FCFS lets the background degrade the subject: {row:?}"

@@ -1,0 +1,303 @@
+//! A minimal, dependency-free JSON document model and pretty printer.
+//!
+//! The workspace is hermetic (std only), so the `--json` output of the
+//! `vpc-bench` binaries is produced by this hand-rolled emitter instead of
+//! an external serialization crate. The printer reproduces the layout the
+//! checked-in `results/*.json` files were generated with: two-space
+//! indent, `"key": value` spacing, shortest-roundtrip floats with a
+//! trailing `.0` on integral values, and tuples rendered as arrays.
+//!
+//! Build documents with the [`JsonValue`] constructors, or implement
+//! [`ToJson`] for a report type and call [`crate::report::to_json`].
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`. Also emitted for non-finite floats, which JSON cannot carry.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, printed without a decimal point.
+    Int(i64),
+    /// A float, printed shortest-roundtrip with `.0` appended when
+    /// integral so it round-trips as a float.
+    Float(f64),
+    /// A string, escaped on output.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<JsonValue>),
+    /// Key/value pairs, printed in insertion order (reports rely on this
+    /// to keep field order stable across runs).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(fields: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from anything convertible to [`JsonValue`].
+    pub fn array<V: Into<JsonValue>>(items: impl IntoIterator<Item = V>) -> JsonValue {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Pretty-prints with two-space indentation (no trailing newline).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(x) => write_f64(out, *x),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; degrade to null rather than emit an
+        // unparseable document.
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{x}");
+    // Rust's shortest-roundtrip Display prints integral floats without a
+    // fraction ("1"); keep them self-describing as floats ("1.0").
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a JSON document node.
+///
+/// Implemented by every report type in [`crate::report`]; implement it for
+/// new result types to make them `--json`-printable via
+/// [`crate::report::to_json`].
+pub trait ToJson {
+    /// Converts `self` into a [`JsonValue`] tree.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> Self {
+        JsonValue::Int(i)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(u: u64) -> Self {
+        match i64::try_from(u) {
+            Ok(i) => JsonValue::Int(i),
+            Err(_) => JsonValue::Float(u as f64),
+        }
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(u: u32) -> Self {
+        JsonValue::Int(i64::from(u))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(u: usize) -> Self {
+        JsonValue::from(u as u64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl<V: Into<JsonValue>> From<Vec<V>> for JsonValue {
+    fn from(items: Vec<V>) -> Self {
+        JsonValue::array(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_print_like_json() {
+        assert_eq!(JsonValue::Null.pretty(), "null");
+        assert_eq!(JsonValue::Bool(true).pretty(), "true");
+        assert_eq!(JsonValue::Bool(false).pretty(), "false");
+        assert_eq!(JsonValue::Int(-42).pretty(), "-42");
+        // Values beyond i64 fall back to the float path.
+        assert_eq!(
+            JsonValue::from(18_446_744_073_709_551_615u64).pretty(),
+            "18446744073709552000.0"
+        );
+    }
+
+    #[test]
+    fn floats_keep_a_fraction_and_roundtrip_shortest() {
+        assert_eq!(JsonValue::Float(1.0).pretty(), "1.0");
+        assert_eq!(JsonValue::Float(-0.0).pretty(), "-0.0");
+        assert_eq!(JsonValue::Float(0.5).pretty(), "0.5");
+        assert_eq!(JsonValue::Float(0.156).pretty(), "0.156");
+        // Shortest roundtrip, exactly as the checked-in results files.
+        assert_eq!(JsonValue::Float(0.22222916666666667).pretty(), "0.22222916666666667");
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).pretty(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).pretty(), "null");
+        assert_eq!(JsonValue::Float(f64::NEG_INFINITY).pretty(), "null");
+    }
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_control_chars() {
+        assert_eq!(JsonValue::from("plain").pretty(), "\"plain\"");
+        assert_eq!(JsonValue::from("say \"hi\"").pretty(), r#""say \"hi\"""#);
+        assert_eq!(JsonValue::from("a\\b").pretty(), r#""a\\b""#);
+        assert_eq!(
+            JsonValue::from("line1\nline2\ttabbed\r").pretty(),
+            r#""line1\nline2\ttabbed\r""#
+        );
+        assert_eq!(JsonValue::from("\u{08}\u{0c}\u{01}").pretty(), r#""\b\f\u0001""#);
+        // Non-ASCII passes through unescaped (UTF-8 output).
+        assert_eq!(JsonValue::from("héllo").pretty(), "\"héllo\"");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(JsonValue::Array(vec![]).pretty(), "[]");
+        assert_eq!(JsonValue::Object(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn nested_arrays_and_objects_indent_two_spaces() {
+        let doc = JsonValue::object([
+            (
+                "rows",
+                JsonValue::array(vec![JsonValue::object([
+                    ("label", JsonValue::from("Loads 2B")),
+                    ("tag_array", JsonValue::from(0.5)),
+                ])]),
+            ),
+            ("mean", JsonValue::from(1.0)),
+            (
+                "tuple",
+                JsonValue::Array(vec![
+                    JsonValue::from("gcc"),
+                    JsonValue::from(0.25),
+                    JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+                ]),
+            ),
+        ]);
+        let want = "{\n  \"rows\": [\n    {\n      \"label\": \"Loads 2B\",\n      \"tag_array\": 0.5\n    }\n  ],\n  \"mean\": 1.0,\n  \"tuple\": [\n    \"gcc\",\n    0.25,\n    [\n      1,\n      2\n    ]\n  ]\n}";
+        assert_eq!(doc.pretty(), want);
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let doc = JsonValue::object([("z", JsonValue::Int(1)), ("a", JsonValue::Int(2))]);
+        assert_eq!(doc.pretty(), "{\n  \"z\": 1,\n  \"a\": 2\n}");
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod system;
@@ -57,7 +58,9 @@ pub use vpm::{VpmAllocation, VpmConfig, VpmError};
 /// Convenient glob-import surface for examples and experiment binaries.
 pub mod prelude {
     pub use crate::config::{CmpConfig, WorkloadSpec};
-    pub use crate::metrics::{harmonic_mean, improvement_pct, minimum, normalized_ipcs, weighted_speedup};
+    pub use crate::metrics::{
+        harmonic_mean, improvement_pct, minimum, normalized_ipcs, weighted_speedup,
+    };
     pub use crate::system::{CmpSystem, Measurement};
     pub use crate::target::target_ipc;
     pub use vpc_arbiters::{ArbiterPolicy, IntraThreadOrder};

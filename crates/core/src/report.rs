@@ -1,15 +1,16 @@
 //! Machine-readable experiment reports.
 //!
-//! Each figure runner's typed result converts into a flat, serializable
-//! report so downstream tooling (plotting scripts, regression tracking)
-//! can consume `--json` output from the `vpc-bench` binaries.
-
-use serde::Serialize;
+//! Each figure runner's typed result converts into a flat report that
+//! implements [`ToJson`], so downstream tooling (plotting scripts,
+//! regression tracking) can consume `--json` output from the `vpc-bench`
+//! binaries. Serialization is handled by the in-tree [`crate::json`]
+//! emitter — the workspace is hermetic and uses no external crates.
 
 use crate::experiments::{fig10, fig5, fig6, fig7, fig8, fig9};
+pub use crate::json::{JsonValue, ToJson};
 
 /// One utilization sample.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UtilizationReport {
     /// Row label (benchmark, or "benchmark NB").
     pub label: String,
@@ -22,7 +23,7 @@ pub struct UtilizationReport {
 }
 
 /// Figure 5 as a flat series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Report {
     /// One entry per (benchmark, banks) point.
     pub rows: Vec<UtilizationReport>,
@@ -46,7 +47,7 @@ impl From<&fig5::Fig5Result> for Fig5Report {
 }
 
 /// Figure 6 as a flat series (adds the solo IPC).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Report {
     /// One entry per benchmark.
     pub rows: Vec<Fig6RowReport>,
@@ -55,7 +56,7 @@ pub struct Fig6Report {
 }
 
 /// One Figure 6 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6RowReport {
     /// Benchmark name.
     pub benchmark: String,
@@ -89,7 +90,7 @@ impl From<&fig6::Fig6Result> for Fig6Report {
 }
 
 /// Figure 7 as a flat series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Report {
     /// One entry per benchmark: (name, write fraction, gathering rate).
     pub rows: Vec<(String, f64, f64)>,
@@ -114,14 +115,14 @@ impl From<&fig7::Fig7Result> for Fig7Report {
 }
 
 /// Figure 8 as a flat series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Report {
     /// One entry per arbiter configuration.
     pub rows: Vec<Fig8RowReport>,
 }
 
 /// One Figure 8 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8RowReport {
     /// Arbiter label.
     pub arbiter: String,
@@ -157,7 +158,7 @@ impl From<&fig8::Fig8Result> for Fig8Report {
 }
 
 /// Figure 9 as a flat series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Report {
     /// One entry per subject benchmark.
     pub rows: Vec<Fig9RowReport>,
@@ -166,7 +167,7 @@ pub struct Fig9Report {
 }
 
 /// One Figure 9 row (all IPCs normalized to the beta=1 target).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9RowReport {
     /// Subject benchmark.
     pub benchmark: String,
@@ -209,7 +210,7 @@ impl From<&fig9::Fig9Result> for Fig9Report {
 }
 
 /// The headline experiment as a flat series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Report {
     /// One entry per mix.
     pub mixes: Vec<MixReport>,
@@ -220,7 +221,7 @@ pub struct Fig10Report {
 }
 
 /// One mix's numbers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MixReport {
     /// The four benchmarks.
     pub mix: Vec<String>,
@@ -249,13 +250,136 @@ impl From<&fig10::Fig10Result> for Fig10Report {
 }
 
 /// Serializes any report to pretty JSON.
-///
-/// # Panics
-///
-/// Panics if serialization fails, which cannot happen for the plain
-/// reports in this module.
-pub fn to_json<T: Serialize>(report: &T) -> String {
-    serde_json::to_string_pretty(report).expect("reports are plain data")
+pub fn to_json<T: ToJson>(report: &T) -> String {
+    report.to_json_value().pretty()
+}
+
+impl ToJson for UtilizationReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("label", JsonValue::from(self.label.as_str())),
+            ("tag_array", JsonValue::from(self.tag_array)),
+            ("data_array", JsonValue::from(self.data_array)),
+            ("data_bus", JsonValue::from(self.data_bus)),
+        ])
+    }
+}
+
+impl ToJson for Fig5Report {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([("rows", rows_json(&self.rows))])
+    }
+}
+
+impl ToJson for Fig6RowReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("benchmark", JsonValue::from(self.benchmark.as_str())),
+            ("data_array", JsonValue::from(self.data_array)),
+            ("data_bus", JsonValue::from(self.data_bus)),
+            ("tag_array", JsonValue::from(self.tag_array)),
+            ("ipc", JsonValue::from(self.ipc)),
+        ])
+    }
+}
+
+impl ToJson for Fig6Report {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("rows", rows_json(&self.rows)),
+            ("mean_data_util", JsonValue::from(self.mean_data_util)),
+        ])
+    }
+}
+
+impl ToJson for Fig7Report {
+    fn to_json_value(&self) -> JsonValue {
+        // Tuple rows render as 3-element arrays, matching the historical
+        // shape of `results/fig7_store_gathering.json`.
+        let rows = self
+            .rows
+            .iter()
+            .map(|(name, write_frac, gathering)| {
+                JsonValue::Array(vec![
+                    JsonValue::from(name.as_str()),
+                    JsonValue::from(*write_frac),
+                    JsonValue::from(*gathering),
+                ])
+            })
+            .collect();
+        JsonValue::object([
+            ("rows", JsonValue::Array(rows)),
+            ("mean_write_frac", JsonValue::from(self.mean_write_frac)),
+            ("mean_gathering", JsonValue::from(self.mean_gathering)),
+        ])
+    }
+}
+
+impl ToJson for Fig8RowReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("arbiter", JsonValue::from(self.arbiter.as_str())),
+            ("loads_ipc", JsonValue::from(self.loads_ipc)),
+            ("loads_target", JsonValue::from(self.loads_target)),
+            ("stores_ipc", JsonValue::from(self.stores_ipc)),
+            ("stores_target", JsonValue::from(self.stores_target)),
+            ("data_util", JsonValue::from(self.data_util)),
+        ])
+    }
+}
+
+impl ToJson for Fig8Report {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([("rows", rows_json(&self.rows))])
+    }
+}
+
+impl ToJson for Fig9RowReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("benchmark", JsonValue::from(self.benchmark.as_str())),
+            ("fcfs", JsonValue::from(self.fcfs)),
+            ("vpc25", JsonValue::from(self.vpc25)),
+            ("vpc50", JsonValue::from(self.vpc50)),
+            ("vpc100", JsonValue::from(self.vpc100)),
+            ("target25", JsonValue::from(self.target25)),
+            ("target50", JsonValue::from(self.target50)),
+            ("utils", JsonValue::array(self.utils.to_vec())),
+        ])
+    }
+}
+
+impl ToJson for Fig9Report {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("rows", rows_json(&self.rows)),
+            ("qos_met_fraction", JsonValue::from(self.qos_met_fraction)),
+        ])
+    }
+}
+
+impl ToJson for MixReport {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("mix", JsonValue::array(self.mix.iter().map(String::as_str))),
+            ("fcfs_norm", JsonValue::array(self.fcfs_norm.clone())),
+            ("vpc_norm", JsonValue::array(self.vpc_norm.clone())),
+        ])
+    }
+}
+
+impl ToJson for Fig10Report {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("mixes", rows_json(&self.mixes)),
+            ("hmean_improvement_pct", JsonValue::from(self.hmean_improvement_pct)),
+            ("min_improvement_pct", JsonValue::from(self.min_improvement_pct)),
+        ])
+    }
+}
+
+fn rows_json<T: ToJson>(rows: &[T]) -> JsonValue {
+    JsonValue::Array(rows.iter().map(ToJson::to_json_value).collect())
 }
 
 #[cfg(test)]
@@ -309,5 +433,64 @@ mod tests {
         let report = Fig10Report::from(&result);
         assert!(report.min_improvement_pct > 0.0);
         assert_eq!(report.mixes[0].mix, vec!["a", "b", "c", "d"]);
+    }
+
+    /// Golden output: a full figure-5 report serializes byte-for-byte in
+    /// the shape the checked-in `results/fig5_micro_util.json` uses.
+    #[test]
+    fn fig5_json_matches_golden_shape() {
+        let result = fig5::Fig5Result {
+            rows: vec![
+                fig5::Fig5Row {
+                    benchmark: "Loads",
+                    banks: 2,
+                    util: L2Utilization { tag_array: 0.5, data_array: 1.0, data_bus: 1.0 },
+                },
+                fig5::Fig5Row {
+                    benchmark: "Stores",
+                    banks: 4,
+                    util: L2Utilization {
+                        tag_array: 0.25,
+                        data_array: 0.22222916666666667,
+                        data_bus: 0.125,
+                    },
+                },
+            ],
+        };
+        let got = to_json(&Fig5Report::from(&result));
+        let want = concat!(
+            "{\n",
+            "  \"rows\": [\n",
+            "    {\n",
+            "      \"label\": \"Loads 2B\",\n",
+            "      \"tag_array\": 0.5,\n",
+            "      \"data_array\": 1.0,\n",
+            "      \"data_bus\": 1.0\n",
+            "    },\n",
+            "    {\n",
+            "      \"label\": \"Stores 4B\",\n",
+            "      \"tag_array\": 0.25,\n",
+            "      \"data_array\": 0.22222916666666667,\n",
+            "      \"data_bus\": 0.125\n",
+            "    }\n",
+            "  ]\n",
+            "}"
+        );
+        assert_eq!(got, want);
+    }
+
+    /// Tuple rows (figure 7) serialize as plain JSON arrays.
+    #[test]
+    fn fig7_rows_serialize_as_arrays() {
+        let report = Fig7Report {
+            rows: vec![("gcc".to_string(), 0.55, 0.8)],
+            mean_write_frac: 0.55,
+            mean_gathering: 0.8,
+        };
+        let got = to_json(&report);
+        assert!(
+            got.contains("\"rows\": [\n    [\n      \"gcc\",\n      0.55,\n      0.8\n    ]\n  ]")
+        );
+        assert!(got.contains("\"mean_write_frac\": 0.55"));
     }
 }

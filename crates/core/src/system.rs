@@ -159,9 +159,7 @@ impl CmpSystem {
             thread_data_busy: (0..self.cores.len())
                 .map(|t| self.l2.thread_data_busy(ThreadId(t as u8)))
                 .collect(),
-            ports: (0..self.cores.len())
-                .map(|t| self.l2.port_stats(ThreadId(t as u8)))
-                .collect(),
+            ports: (0..self.cores.len()).map(|t| self.l2.port_stats(ThreadId(t as u8))).collect(),
         }
     }
 
@@ -291,8 +289,7 @@ mod tests {
     #[test]
     fn trace_workloads_drive_the_system() {
         let cfg = quick_config(1);
-        let trace: vpc_workloads::TraceWorkload =
-            "L 0x10\nN\nS 0x20\nB 2\n".parse().unwrap();
+        let trace: vpc_workloads::TraceWorkload = "L 0x10\nN\nS 0x20\nB 2\n".parse().unwrap();
         let mut sys = CmpSystem::with_workloads(cfg, vec![Box::new(trace)]);
         sys.run(20_000);
         assert!(sys.core(ThreadId(0)).retired() > 1000, "trace replays in a loop");

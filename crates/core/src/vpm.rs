@@ -143,15 +143,9 @@ mod tests {
     fn validation_rejects_overcommit() {
         let half = VpmAllocation::symmetric(share(1, 2));
         assert!(VpmConfig::new(vec![half; 2]).is_ok());
-        assert_eq!(
-            VpmConfig::new(vec![half; 3]).unwrap_err(),
-            VpmError::BandwidthOverCommitted
-        );
+        assert_eq!(VpmConfig::new(vec![half; 3]).unwrap_err(), VpmError::BandwidthOverCommitted);
         let skew = VpmAllocation { beta: share(1, 4), alpha: share(1, 2) };
-        assert_eq!(
-            VpmConfig::new(vec![skew; 3]).unwrap_err(),
-            VpmError::CapacityOverCommitted
-        );
+        assert_eq!(VpmConfig::new(vec![skew; 3]).unwrap_err(), VpmError::CapacityOverCommitted);
     }
 
     #[test]
@@ -172,8 +166,8 @@ mod tests {
         // Start Loads at 75% / Stores at 25%; flip mid-run; the IPC split
         // must follow the registers.
         let budget = RunBudget::quick();
-        let mut cfg = CmpConfig::table1_with_threads(2)
-            .with_vpc_shares(vec![share(3, 4), share(1, 4)]);
+        let mut cfg =
+            CmpConfig::table1_with_threads(2).with_vpc_shares(vec![share(3, 4), share(1, 4)]);
         cfg.l2.total_sets = 2048;
         let mut sys =
             crate::system::CmpSystem::new(cfg, &[WorkloadSpec::Loads, WorkloadSpec::Stores]);
@@ -212,8 +206,7 @@ mod tests {
         let mut cfg = CmpConfig::table1_with_threads(2).with_arbiter(ArbiterPolicy::Fcfs);
         cfg.l2.total_sets = 512;
         cfg.l2.capacity = vpc_cache::CapacityPolicy::Lru;
-        let mut sys =
-            crate::system::CmpSystem::new(cfg, &[WorkloadSpec::Idle, WorkloadSpec::Idle]);
+        let mut sys = crate::system::CmpSystem::new(cfg, &[WorkloadSpec::Idle, WorkloadSpec::Idle]);
         assert!(!VpmConfig::equal(2).apply(&mut sys), "FCFS+LRU has no QoS registers");
     }
 }

@@ -506,8 +506,10 @@ mod tests {
         base_cfg.l1.lmq_entries = 2;
         let mut pf_cfg = base_cfg;
         pf_cfg.prefetch_degree = 4;
-        let mut with = Core::new(pf_cfg, ThreadId(0), Box::new(FixedTrace::new("stream", ops.clone())));
-        let mut without = Core::new(base_cfg, ThreadId(0), Box::new(FixedTrace::new("stream", ops)));
+        let mut with =
+            Core::new(pf_cfg, ThreadId(0), Box::new(FixedTrace::new("stream", ops.clone())));
+        let mut without =
+            Core::new(base_cfg, ThreadId(0), Box::new(FixedTrace::new("stream", ops)));
         let mut l2a = small_l2(1);
         let mut l2b = small_l2(1);
         run(&mut with, &mut l2a, 60_000);
@@ -546,10 +548,11 @@ mod tests {
         let w = FixedTrace::new("loads", ops);
         let mut cfg = CoreConfig::table1();
         cfg.l1.lmq_entries = 2; // tiny LMQ throttles MLP hard
-        let mut throttled = Core::new(cfg, ThreadId(0), Box::new(FixedTrace::new(
-            "loads",
-            (0..512).map(|i| Op::Load(LineAddr(i))).collect(),
-        )));
+        let mut throttled = Core::new(
+            cfg,
+            ThreadId(0),
+            Box::new(FixedTrace::new("loads", (0..512).map(|i| Op::Load(LineAddr(i))).collect())),
+        );
         let mut wide = Core::new(CoreConfig::table1(), ThreadId(0), Box::new(w));
         let mut l2a = small_l2(1);
         let mut l2b = small_l2(1);

@@ -1,16 +1,14 @@
 //! Core-level architectural properties: in-order retirement and
 //! conservation of instructions, under random workloads and a live L2.
 
-use proptest::prelude::*;
-
 use vpc_arbiters::ArbiterPolicy;
 use vpc_cache::{L2Config, SharedL2};
 use vpc_cpu::{Core, CoreConfig, FixedTrace, Op, Workload};
 use vpc_mem::MemConfig;
-use vpc_sim::{LineAddr, SplitMix64, ThreadId};
+use vpc_sim::check::{self, Config};
+use vpc_sim::{ensure, ensure_eq, LineAddr, SplitMix64, ThreadId};
 
-fn random_trace(seed: u64, len: usize) -> FixedTrace {
-    let mut rng = SplitMix64::new(seed);
+fn random_trace(rng: &mut SplitMix64, len: usize) -> FixedTrace {
     let ops: Vec<Op> = (0..len)
         .map(|_| match rng.below(10) {
             0..=3 => Op::NonMem,
@@ -25,14 +23,12 @@ fn random_trace(seed: u64, len: usize) -> FixedTrace {
     FixedTrace::new("random", ops)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The retired instruction mix equals the dispatched program's mix
-    /// prefix: retirement is in order, nothing is lost or duplicated.
-    #[test]
-    fn retirement_follows_program_order(seed in any::<u64>()) {
-        let trace = random_trace(seed, 64);
+/// The retired instruction mix equals the dispatched program's mix
+/// prefix: retirement is in order, nothing is lost or duplicated.
+#[test]
+fn retirement_follows_program_order() {
+    check::forall("retirement_follows_program_order", Config::cases(16), |rng| {
+        let trace = random_trace(rng, 64);
         // Reference: the exact op sequence the core will see.
         let mut reference = trace.clone();
         let mut core = Core::new(CoreConfig::table1(), ThreadId(0), Box::new(trace));
@@ -52,16 +48,26 @@ proptest! {
         let mut seen = 0;
         while seen < retired {
             match reference.next_op() {
-                Op::Load(_) => { want_loads += 1; seen += 1; }
-                Op::Store(_) => { want_stores += 1; seen += 1; }
-                Op::NonMem => { want_other += 1; seen += 1; }
+                Op::Load(_) => {
+                    want_loads += 1;
+                    seen += 1;
+                }
+                Op::Store(_) => {
+                    want_stores += 1;
+                    seen += 1;
+                }
+                Op::NonMem => {
+                    want_other += 1;
+                    seen += 1;
+                }
                 Op::Bubble(_) => {}
             }
         }
         let s = core.stats();
-        prop_assert_eq!(s.loads.get(), want_loads, "load count mismatch");
-        prop_assert_eq!(s.stores.get(), want_stores, "store count mismatch");
-        prop_assert_eq!(s.non_mem.get(), want_other, "non-mem count mismatch");
-        prop_assert!(retired > 0, "the core made progress");
-    }
+        ensure_eq!(s.loads.get(), want_loads, "load count mismatch");
+        ensure_eq!(s.stores.get(), want_stores, "store count mismatch");
+        ensure_eq!(s.non_mem.get(), want_other, "non-mem count mismatch");
+        ensure!(retired > 0, "the core made progress");
+        Ok(())
+    });
 }

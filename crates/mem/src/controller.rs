@@ -244,14 +244,12 @@ impl MemoryController {
                 fq.pick(&list).expect("candidates nonempty")
             }
             // FCFS: oldest arrival across all threads.
-            None => {
-                candidates
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, (seq, _))| *seq)
-                    .map(|(i, _)| i)
-                    .expect("candidates nonempty")
-            }
+            None => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (seq, _))| *seq)
+                .map(|(i, _)| i)
+                .expect("candidates nonempty"),
         };
         let (_, req) = candidates[winner];
         self.issue_on(0, req, now);
@@ -300,7 +298,12 @@ mod tests {
     }
 
     fn write(thread: u8, line: u64, token: u64) -> MemRequest {
-        MemRequest { thread: ThreadId(thread), line: LineAddr(line), kind: AccessKind::Write, token }
+        MemRequest {
+            thread: ThreadId(thread),
+            line: LineAddr(line),
+            kind: AccessKind::Write,
+            token,
+        }
     }
 
     fn run(mc: &mut MemoryController, from: Cycle, to: Cycle, out: &mut Vec<MemResponse>) {
@@ -413,7 +416,10 @@ mod tests {
             let _ = now;
         }
         run(&mut parallel, 1200, 1201, &mut out);
-        assert!(done_parallel > done_serial, "bank-level parallelism must help ({done_parallel} vs {done_serial})");
+        assert!(
+            done_parallel > done_serial,
+            "bank-level parallelism must help ({done_parallel} vs {done_serial})"
+        );
     }
 
     #[test]
@@ -455,7 +461,10 @@ mod tests {
             }
         }
         let ratio = served[0] as f64 / served[1] as f64;
-        assert!((2.2..4.0).contains(&ratio), "3:1 shares should give ~3:1 service, got {ratio} ({served:?})");
+        assert!(
+            (2.2..4.0).contains(&ratio),
+            "3:1 shares should give ~3:1 service, got {ratio} ({served:?})"
+        );
     }
 
     #[test]
@@ -466,7 +475,10 @@ mod tests {
             MemoryController::with_mode(MemConfig::ddr2_800(), 2, ChannelMode::SharedFq { shares });
         assert!(mc.reconfigure_share(ThreadId(0), Share::new(3, 4).unwrap()));
         let mut plain = MemoryController::new(MemConfig::ddr2_800(), 2);
-        assert!(!plain.reconfigure_share(ThreadId(0), Share::FULL), "private channels have no shares");
+        assert!(
+            !plain.reconfigure_share(ThreadId(0), Share::FULL),
+            "private channels have no shares"
+        );
     }
 
     #[test]

@@ -1,22 +1,18 @@
 //! Memory-system ordering and isolation properties under random traffic.
 
-use proptest::prelude::*;
-
 use vpc_mem::{ChannelMode, MemConfig, MemRequest, MemoryController};
-use vpc_sim::{AccessKind, LineAddr, Share, SplitMix64, ThreadId};
+use vpc_sim::check::{self, Config};
+use vpc_sim::{ensure, ensure_eq, AccessKind, LineAddr, Share, ThreadId};
 
 fn read(thread: u8, line: u64, token: u64) -> MemRequest {
     MemRequest { thread: ThreadId(thread), line: LineAddr(line), kind: AccessKind::Read, token }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// With a private channel, a thread's reads to the *same bank* complete
-    /// in issue order, and every read completes exactly once.
-    #[test]
-    fn private_channel_reads_complete_exactly_once(seed in any::<u64>()) {
-        let mut rng = SplitMix64::new(seed);
+/// With a private channel, a thread's reads to the *same bank* complete
+/// in issue order, and every read completes exactly once.
+#[test]
+fn private_channel_reads_complete_exactly_once() {
+    check::forall("private_channel_reads_complete_exactly_once", Config::cases(24), |rng| {
         let mut mc = MemoryController::new(MemConfig::ddr2_800(), 2);
         let mut submitted = std::collections::BTreeSet::new();
         let mut completed = std::collections::BTreeSet::new();
@@ -31,35 +27,32 @@ proptest! {
             }
             mc.tick(now);
             while let Some(r) = mc.pop_response() {
-                prop_assert!(completed.insert(r.token), "token {} completed twice", r.token);
+                ensure!(completed.insert(r.token), "token {} completed twice", r.token);
             }
         }
         let mut now = 5000;
         while !mc.is_idle() && now < 100_000 {
             mc.tick(now);
             while let Some(r) = mc.pop_response() {
-                prop_assert!(completed.insert(r.token));
+                ensure!(completed.insert(r.token));
             }
             now += 1;
         }
-        prop_assert!(mc.is_idle(), "controller drains");
-        prop_assert_eq!(submitted, completed);
-    }
+        ensure!(mc.is_idle(), "controller drains");
+        ensure_eq!(submitted, completed);
+        Ok(())
+    });
+}
 
-    /// Shared FQ channel: the same conservation property holds with any
-    /// share configuration, including zero-share threads.
-    #[test]
-    fn shared_fq_conserves_requests(seed in any::<u64>(), num in 0u32..=4) {
-        let shares = vec![
-            Share::new(num, 4).unwrap(),
-            Share::new(4 - num, 4).unwrap(),
-        ];
-        let mut mc = MemoryController::with_mode(
-            MemConfig::ddr2_800(),
-            2,
-            ChannelMode::SharedFq { shares },
-        );
-        let mut rng = SplitMix64::new(seed);
+/// Shared FQ channel: the same conservation property holds with any
+/// share configuration, including zero-share threads.
+#[test]
+fn shared_fq_conserves_requests() {
+    check::forall("shared_fq_conserves_requests", Config::cases(24), |rng| {
+        let num = rng.below(5) as u32;
+        let shares = vec![Share::new(num, 4).unwrap(), Share::new(4 - num, 4).unwrap()];
+        let mut mc =
+            MemoryController::with_mode(MemConfig::ddr2_800(), 2, ChannelMode::SharedFq { shares });
         let mut submitted = 0u64;
         let mut completed = 0u64;
         let mut token = 0u64;
@@ -84,7 +77,8 @@ proptest! {
             }
             now += 1;
         }
-        prop_assert!(mc.is_idle(), "shared channel drains");
-        prop_assert_eq!(submitted, completed);
-    }
+        ensure!(mc.is_idle(), "shared channel drains");
+        ensure_eq!(submitted, completed);
+        Ok(())
+    });
 }

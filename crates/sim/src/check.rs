@@ -1,0 +1,577 @@
+//! A deterministic, dependency-free property-testing microharness.
+//!
+//! Every property test in the workspace runs on this module instead of an
+//! external crate, so the whole test suite is a pure function of the seeds
+//! checked into the repository — no registry access, no OS entropy, no
+//! per-machine variation.
+//!
+//! # Model
+//!
+//! A *property* is a closure from a [`SplitMix64`] generator to
+//! `Result<(), String>`: draw whatever inputs you need from the generator,
+//! return `Err(message)` when the property is violated. [`forall`] derives
+//! one independent case seed per case from a master [`Config`] seed and
+//! panics on the first failing case, printing the case seed so the failure
+//! can be replayed exactly:
+//!
+//! ```
+//! use vpc_sim::check::{self, Config};
+//! use vpc_sim::ensure;
+//!
+//! check::forall("addition_commutes", Config::cases(64), |rng| {
+//!     let (a, b) = (rng.below(1000), rng.below(1000));
+//!     ensure!(a + b == b + a, "{a} + {b} not commutative");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! To replay a reported failure, set the `VPC_CHECK_SEED` environment
+//! variable (decimal or `0x`-prefixed hex) and re-run the test: the harness
+//! then runs exactly that one case. Programmatic replay is available via
+//! [`replay`].
+//!
+//! Sequence-shaped properties go through [`forall_seq`], which additionally
+//! *shrinks* a failing sequence by halving/bisection (delta debugging):
+//! ever-smaller chunks are removed while the property still fails, so the
+//! reported counterexample is locally minimal — removing any single
+//! remaining element makes the failure disappear.
+//!
+//! Generators for the workspace's domain types live in [`gen`].
+
+use std::fmt::Debug;
+
+use crate::rng::SplitMix64;
+
+/// Environment variable that, when set, replays a single case seed.
+pub const SEED_ENV: &str = "VPC_CHECK_SEED";
+
+/// Default master seed used by [`Config::cases`]. Arbitrary but fixed:
+/// changing it reshuffles every generated case in the workspace.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+/// How a [`forall`] run explores the input space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of independent cases to run.
+    pub cases: u64,
+    /// Master seed from which per-case seeds are derived.
+    pub seed: u64,
+}
+
+impl Config {
+    /// `cases` cases from the workspace-wide [`DEFAULT_SEED`].
+    pub fn cases(cases: u64) -> Config {
+        Config { cases, seed: DEFAULT_SEED }
+    }
+
+    /// Same case count, different master seed (for independent reruns).
+    pub fn with_seed(self, seed: u64) -> Config {
+        Config { seed, ..self }
+    }
+}
+
+/// A failing case found by [`find_failure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Zero-based index of the failing case.
+    pub case: u64,
+    /// The case seed: `SplitMix64::new(seed)` regenerates the exact inputs.
+    pub seed: u64,
+    /// The property's error message.
+    pub message: String,
+}
+
+/// Runs `property` once per case and returns the first failure, if any,
+/// without panicking. [`forall`] is the asserting wrapper; this entry point
+/// exists so the harness can test itself.
+pub fn find_failure<F>(cfg: Config, mut property: F) -> Option<Failure>
+where
+    F: FnMut(&mut SplitMix64) -> Result<(), String>,
+{
+    if let Some(seed) = replay_seed_from_env() {
+        let message = replay(seed, &mut property).err()?;
+        return Some(Failure { case: 0, seed, message });
+    }
+    let mut master = SplitMix64::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let seed = master.next_u64();
+        if let Err(message) = replay(seed, &mut property) {
+            return Some(Failure { case, seed, message });
+        }
+    }
+    None
+}
+
+/// Runs `property` against the single case derived from `seed`. Replaying
+/// the seed printed in a failure report reproduces that exact case.
+pub fn replay<F>(seed: u64, mut property: F) -> Result<(), String>
+where
+    F: FnMut(&mut SplitMix64) -> Result<(), String>,
+{
+    let mut rng = SplitMix64::new(seed);
+    property(&mut rng)
+}
+
+/// Checks `property` over `cfg.cases` generated cases.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting the reproducing seed:
+///
+/// ```text
+/// property 'name' failed at case 3 of 64 (seed = 0x1234abcd): message
+/// replay with: VPC_CHECK_SEED=0x1234abcd cargo test name
+/// ```
+pub fn forall<F>(name: &str, cfg: Config, property: F)
+where
+    F: FnMut(&mut SplitMix64) -> Result<(), String>,
+{
+    if let Some(failure) = find_failure(cfg, property) {
+        panic!("{}", report(name, cfg, &failure));
+    }
+}
+
+/// Renders a [`Failure`] into the standard replay-instruction message.
+pub fn report(name: &str, cfg: Config, failure: &Failure) -> String {
+    format!(
+        "property '{name}' failed at case {} of {} (seed = {:#x}): {}\n\
+         replay with: {SEED_ENV}={:#x} cargo test {name}",
+        failure.case, cfg.cases, failure.seed, failure.message, failure.seed
+    )
+}
+
+fn replay_seed_from_env() -> Option<u64> {
+    let raw = std::env::var(SEED_ENV).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("{SEED_ENV}={raw:?} is not a decimal or 0x-hex u64"),
+    }
+}
+
+/// A failing sequence case found by [`find_seq_failure`], after shrinking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqFailure<T> {
+    /// Zero-based index of the failing case.
+    pub case: u64,
+    /// The case seed regenerating the *unshrunk* sequence.
+    pub seed: u64,
+    /// Locally minimal failing sequence (halving/bisection shrink).
+    pub shrunk: Vec<T>,
+    /// The property's error message on the shrunk sequence.
+    pub message: String,
+}
+
+/// Checks a property of generated sequences, shrinking counterexamples.
+///
+/// Each case draws a length in `min_len..=max_len`, generates that many
+/// elements with `element`, and applies `property` to the slice. On failure
+/// the sequence is shrunk by halving/bisection before reporting.
+///
+/// # Panics
+///
+/// Panics if `min_len > max_len`, and on the first failing case (reporting
+/// seed and the shrunk counterexample).
+pub fn forall_seq<T, G, F>(
+    name: &str,
+    cfg: Config,
+    (min_len, max_len): (usize, usize),
+    element: G,
+    property: F,
+) where
+    T: Clone + Debug,
+    G: FnMut(&mut SplitMix64) -> T,
+    F: FnMut(&[T]) -> Result<(), String>,
+{
+    if let Some(failure) = find_seq_failure(cfg, (min_len, max_len), element, property) {
+        panic!(
+            "property '{name}' failed at case {} of {} (seed = {:#x}): {}\n\
+             shrunk counterexample ({} elements): {:?}\n\
+             replay with: {SEED_ENV}={:#x} cargo test {name}",
+            failure.case,
+            cfg.cases,
+            failure.seed,
+            failure.message,
+            failure.shrunk.len(),
+            failure.shrunk,
+            failure.seed
+        );
+    }
+}
+
+/// Non-panicking core of [`forall_seq`]; returns the shrunk failure.
+pub fn find_seq_failure<T, G, F>(
+    cfg: Config,
+    (min_len, max_len): (usize, usize),
+    mut element: G,
+    mut property: F,
+) -> Option<SeqFailure<T>>
+where
+    T: Clone + Debug,
+    G: FnMut(&mut SplitMix64) -> T,
+    F: FnMut(&[T]) -> Result<(), String>,
+{
+    assert!(min_len <= max_len, "min_len must not exceed max_len");
+    let replay_only = replay_seed_from_env();
+    let mut master = SplitMix64::new(cfg.seed);
+    let cases = if replay_only.is_some() { 1 } else { cfg.cases };
+    for case in 0..cases {
+        let seed = replay_only.unwrap_or_else(|| master.next_u64());
+        let mut rng = SplitMix64::new(seed);
+        let len = min_len + rng.below((max_len - min_len + 1) as u64) as usize;
+        let seq: Vec<T> = (0..len).map(|_| element(&mut rng)).collect();
+        if let Err(message) = property(&seq) {
+            let (shrunk, message) = shrink_seq(seq, message, min_len, &mut property);
+            return Some(SeqFailure { case, seed, shrunk, message });
+        }
+    }
+    None
+}
+
+/// Halving/bisection shrink (ddmin-style): repeatedly try to delete chunks
+/// of the failing sequence, starting at half its length and bisecting down
+/// to single elements, keeping any deletion that still fails. The result is
+/// locally minimal: no single remaining element can be removed.
+fn shrink_seq<T, F>(
+    mut seq: Vec<T>,
+    mut message: String,
+    min_len: usize,
+    property: &mut F,
+) -> (Vec<T>, String)
+where
+    T: Clone,
+    F: FnMut(&[T]) -> Result<(), String>,
+{
+    let mut chunk = seq.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < seq.len() && seq.len() > min_len {
+            let end = (start + chunk).min(seq.len());
+            // Keep at least min_len elements: trim the chunk if needed.
+            let removable = (seq.len() - min_len).min(end - start);
+            if removable == 0 {
+                break;
+            }
+            let end = start + removable;
+            let mut candidate = Vec::with_capacity(seq.len() - (end - start));
+            candidate.extend_from_slice(&seq[..start]);
+            candidate.extend_from_slice(&seq[end..]);
+            match property(&candidate) {
+                Err(msg) => {
+                    seq = candidate;
+                    message = msg;
+                    removed_any = true;
+                    // Retry the same start: the tail shifted into place.
+                }
+                Ok(()) => start = end,
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+            // A deletion opened new opportunities; sweep again at size 1.
+            continue;
+        }
+        chunk = chunk.div_ceil(2).max(1);
+    }
+    (seq, message)
+}
+
+/// Returns `Err` from the enclosing property when a condition is violated.
+///
+/// With a single argument, the condition's source text becomes the message;
+/// extra arguments are a `format!` message.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr $(,)?) => {
+        // `match` rather than `if !cond`: negating a partial-ord float
+        // comparison would trip clippy at every expansion site.
+        match $cond {
+            true => {}
+            false => return Err(format!("assertion failed: {}", stringify!($cond))),
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        match $cond {
+            true => {}
+            false => return Err(format!($($fmt)+)),
+        }
+    };
+}
+
+/// Returns `Err` from the enclosing property when two values differ.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!("{}\n  left: {l:?}\n right: {r:?}", format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Value generators for the workspace's domain types.
+///
+/// Each generator is a plain function of a [`SplitMix64`], so composite
+/// generators are ordinary function composition — no combinator machinery.
+pub mod gen {
+    use crate::rng::SplitMix64;
+    use crate::share::Share;
+    use crate::types::{AccessKind, CacheRequest, LineAddr, ThreadId};
+
+    /// Uniform `u64` in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + rng.below(hi - lo + 1)
+    }
+
+    /// A valid [`Share`] with denominator in `1..=max_den` (numerator may
+    /// be zero — include the no-guarantee case).
+    pub fn share(rng: &mut SplitMix64, max_den: u32) -> Share {
+        let den = range(rng, 1, u64::from(max_den)) as u32;
+        let num = range(rng, 0, u64::from(den)) as u32;
+        Share::new(num, den).expect("num <= den by construction")
+    }
+
+    /// A nonzero [`Share`] with denominator in `1..=max_den`.
+    pub fn nonzero_share(rng: &mut SplitMix64, max_den: u32) -> Share {
+        let den = range(rng, 1, u64::from(max_den)) as u32;
+        let num = range(rng, 1, u64::from(den)) as u32;
+        Share::new(num, den).expect("1 <= num <= den by construction")
+    }
+
+    /// A [`LineAddr`] below `bound`.
+    pub fn line_addr(rng: &mut SplitMix64, bound: u64) -> LineAddr {
+        LineAddr(rng.below(bound))
+    }
+
+    /// A [`ThreadId`] in `0..threads`.
+    pub fn thread_id(rng: &mut SplitMix64, threads: usize) -> ThreadId {
+        ThreadId(rng.below(threads as u64) as u8)
+    }
+
+    /// A read or write, each with probability 1/2.
+    pub fn access_kind(rng: &mut SplitMix64) -> AccessKind {
+        if rng.chance(0.5) {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        }
+    }
+
+    /// One [`CacheRequest`] from `threads` threads over `lines` lines, with
+    /// the caller-supplied token.
+    pub fn cache_request(
+        rng: &mut SplitMix64,
+        threads: usize,
+        lines: u64,
+        token: u64,
+    ) -> CacheRequest {
+        CacheRequest {
+            thread: thread_id(rng, threads),
+            line: line_addr(rng, lines),
+            kind: access_kind(rng),
+            token,
+        }
+    }
+
+    /// A request sequence of length `len` with ascending tokens starting at
+    /// zero — the shape every liveness/ordering property consumes.
+    pub fn request_seq(
+        rng: &mut SplitMix64,
+        threads: usize,
+        lines: u64,
+        len: usize,
+    ) -> Vec<CacheRequest> {
+        (0..len).map(|token| cache_request(rng, threads, lines, token as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AccessKind;
+
+    #[test]
+    fn passing_property_finds_no_failure() {
+        let outcome = find_failure(Config::cases(128), |rng| {
+            let x = rng.below(100);
+            ensure!(x < 100, "below out of range");
+            Ok(())
+        });
+        assert_eq!(outcome, None);
+    }
+
+    #[test]
+    fn failing_property_reports_reproducing_seed() {
+        // Fails only for some inputs, so the harness must search for it.
+        let property = |rng: &mut SplitMix64| -> Result<(), String> {
+            let x = rng.below(10);
+            ensure!(x != 7, "hit the failing value, x = {x}");
+            Ok(())
+        };
+        let failure =
+            find_failure(Config::cases(256), property).expect("x == 7 occurs within 256 cases");
+        assert!(failure.message.contains("x = 7"), "message: {}", failure.message);
+        // Determinism: replaying the reported seed hits the same counterexample.
+        let replayed = replay(failure.seed, property).unwrap_err();
+        assert_eq!(replayed, failure.message);
+        // And the full report tells the user how to do that.
+        let rendered = report("demo", Config::cases(256), &failure);
+        assert!(rendered.contains(&format!("{:#x}", failure.seed)));
+        assert!(rendered.contains(SEED_ENV));
+    }
+
+    #[test]
+    fn same_config_generates_identical_cases() {
+        let collect = || {
+            let mut seen = Vec::new();
+            let outcome = find_failure(Config::cases(32), |rng| {
+                seen.push(rng.next_u64());
+                Ok(())
+            });
+            assert_eq!(outcome, None);
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn distinct_master_seeds_generate_distinct_cases() {
+        let collect = |seed| {
+            let mut seen = Vec::new();
+            find_failure(Config::cases(8).with_seed(seed), |rng| {
+                seen.push(rng.next_u64());
+                Ok(())
+            });
+            seen
+        };
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "replay with")]
+    fn forall_panics_with_replay_instructions() {
+        forall("always_fails", Config::cases(4), |_| Err("no".into()));
+    }
+
+    #[test]
+    fn shrinking_reaches_locally_minimal_sequence() {
+        // Property: "no element is >= 90". A random failing sequence has
+        // many innocent elements; the shrunk one must contain offenders only.
+        let failure = find_seq_failure(
+            Config::cases(64),
+            (1, 64),
+            |rng| rng.below(100),
+            |seq: &[u64]| {
+                if let Some(bad) = seq.iter().find(|&&x| x >= 90) {
+                    return Err(format!("offending element {bad}"));
+                }
+                Ok(())
+            },
+        )
+        .expect("an element >= 90 appears within 64 sequences");
+        assert_eq!(failure.shrunk.len(), 1, "shrunk to a single element: {:?}", failure.shrunk);
+        assert!(failure.shrunk[0] >= 90);
+    }
+
+    #[test]
+    fn shrinking_respects_min_len() {
+        // Always fails; shrinking must stop at the configured minimum.
+        let failure = find_seq_failure(
+            Config::cases(1),
+            (3, 10),
+            |rng| rng.below(100),
+            |_: &[u64]| Err("always".into()),
+        )
+        .unwrap();
+        assert_eq!(failure.shrunk.len(), 3);
+    }
+
+    #[test]
+    fn shrinking_handles_interacting_elements() {
+        // Fails when the sequence contains at least two odd numbers — a
+        // non-contiguous pair, exercising the bisection passes.
+        let failure = find_seq_failure(
+            Config::cases(64),
+            (0, 40),
+            |rng| rng.below(1000),
+            |seq: &[u64]| {
+                let odds = seq.iter().filter(|&&x| x % 2 == 1).count();
+                if odds >= 2 {
+                    return Err(format!("{odds} odd elements"));
+                }
+                Ok(())
+            },
+        )
+        .expect("two odds appear within 64 sequences");
+        assert_eq!(failure.shrunk.len(), 2, "exactly the interacting pair: {:?}", failure.shrunk);
+        assert!(failure.shrunk.iter().all(|x| x % 2 == 1));
+    }
+
+    #[test]
+    fn generators_respect_their_domains() {
+        forall("generator_domains", Config::cases(256), |rng| {
+            let s = gen::share(rng, 64);
+            ensure!(s.numer() <= s.denom(), "share above one");
+            let nz = gen::nonzero_share(rng, 64);
+            ensure!(!nz.is_zero(), "nonzero_share produced zero");
+            let t = gen::thread_id(rng, 4);
+            ensure!(t.index() < 4, "thread out of range");
+            let l = gen::line_addr(rng, 128);
+            ensure!(l.0 < 128, "line out of range");
+            let v = gen::range(rng, 10, 20);
+            ensure!((10..=20).contains(&v), "range out of bounds");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn request_seq_tokens_ascend() {
+        let mut rng = SplitMix64::new(9);
+        let seq = gen::request_seq(&mut rng, 4, 64, 32);
+        assert_eq!(seq.len(), 32);
+        for (i, req) in seq.iter().enumerate() {
+            assert_eq!(req.token, i as u64);
+            assert!(req.thread.index() < 4);
+            assert!(req.line.0 < 64);
+            assert!(matches!(req.kind, AccessKind::Read | AccessKind::Write));
+        }
+    }
+
+    #[test]
+    fn ensure_macros_format_messages() {
+        fn violated() -> Result<(), String> {
+            ensure!(1 + 1 == 3);
+            Ok(())
+        }
+        assert!(violated().unwrap_err().contains("1 + 1 == 3"));
+        fn unequal() -> Result<(), String> {
+            ensure_eq!(2 + 2, 5, "arithmetic broke");
+            Ok(())
+        }
+        let msg = unequal().unwrap_err();
+        assert!(msg.contains("arithmetic broke") && msg.contains('4') && msg.contains('5'));
+    }
+}

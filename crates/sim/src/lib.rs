@@ -13,6 +13,9 @@
 //!   and experiment is exactly reproducible from a seed.
 //! * [`stats`] — counters and utilization meters used to produce the
 //!   figures' utilization series.
+//! * [`check`] — the deterministic property-testing microharness every
+//!   crate's randomized tests run on, built on [`SplitMix64`] so the whole
+//!   suite is reproducible offline with zero external dependencies.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod rng;
 pub mod share;
 pub mod stats;

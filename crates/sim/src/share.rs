@@ -239,7 +239,8 @@ impl FromStr for Share {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::check::{self, gen, Config};
+    use crate::{ensure, ensure_eq};
 
     #[test]
     fn reduces_to_lowest_terms() {
@@ -290,10 +291,7 @@ mod tests {
     #[test]
     fn checked_sum_detects_overcommit() {
         let q = Share::new(1, 4).unwrap();
-        assert_eq!(
-            Share::checked_sum([q, q, q, q]),
-            Some(Share::FULL)
-        );
+        assert_eq!(Share::checked_sum([q, q, q, q]), Some(Share::FULL));
         let h = Share::new(1, 2).unwrap();
         assert_eq!(Share::checked_sum([h, h, q]), None);
     }
@@ -307,30 +305,36 @@ mod tests {
         assert!("abc".parse::<Share>().is_err());
     }
 
-    proptest! {
-        #[test]
-        fn scaled_latency_is_ceiling_division(num in 1u32..=64, den in 1u32..=64, lat in 0u64..10_000) {
-            prop_assume!(num <= den);
-            let s = Share::new(num, den).unwrap();
-            let exact = (lat as f64) * (den as f64) / (num as f64);
+    #[test]
+    fn scaled_latency_is_ceiling_division() {
+        check::forall("scaled_latency_is_ceiling_division", Config::cases(256), |rng| {
+            let s = gen::nonzero_share(rng, 64);
+            let lat = rng.below(10_000);
+            let exact = (lat as f64) * f64::from(s.denom()) / f64::from(s.numer());
             let got = s.scaled_latency(lat).unwrap();
-            prop_assert!(got as f64 >= exact - 1e-9);
-            prop_assert!((got as f64) < exact + 1.0);
-        }
+            ensure!(got as f64 >= exact - 1e-9, "{s}: {got} below exact {exact}");
+            ensure!((got as f64) < exact + 1.0, "{s}: {got} above ceiling of {exact}");
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn ways_never_exceed_total(num in 0u32..=64, den in 1u32..=64, ways in 1u32..=64) {
-            prop_assume!(num <= den);
-            let s = Share::new(num, den).unwrap();
-            prop_assert!(s.of_ways(ways) <= ways);
-        }
+    #[test]
+    fn ways_never_exceed_total() {
+        check::forall("ways_never_exceed_total", Config::cases(256), |rng| {
+            let s = gen::share(rng, 64);
+            let ways = gen::range(rng, 1, 64) as u32;
+            ensure!(s.of_ways(ways) <= ways, "{s}.of_ways({ways}) exceeded the total");
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn display_parse_roundtrip(num in 0u32..=64, den in 1u32..=64) {
-            prop_assume!(num <= den);
-            let s = Share::new(num, den).unwrap();
+    #[test]
+    fn display_parse_roundtrip() {
+        check::forall("display_parse_roundtrip", Config::cases(256), |rng| {
+            let s = gen::share(rng, 64);
             let back: Share = s.to_string().parse().unwrap();
-            prop_assert_eq!(s, back);
-        }
+            ensure_eq!(s, back);
+            Ok(())
+        });
     }
 }

@@ -57,24 +57,204 @@ pub struct SpecParams {
 /// utilization and write mix land near Figures 6 and 7.
 pub fn spec_params() -> &'static [SpecParams; 18] {
     const P: [SpecParams; 18] = [
-        SpecParams { name: "art", load_frac: 0.34, store_frac: 0.12, l1_miss_rate: 0.2508, l2_miss_rate: 0.06, store_locality: 0.4695, burst_mean: 8.0, warm_lines: 4096, base_ipc: 1.3 },
-        SpecParams { name: "vpr", load_frac: 0.32, store_frac: 0.14, l1_miss_rate: 0.1727, l2_miss_rate: 0.05, store_locality: 0.6614, burst_mean: 6.0, warm_lines: 4096, base_ipc: 1.2 },
-        SpecParams { name: "mesa", load_frac: 0.3, store_frac: 0.16, l1_miss_rate: 0.0897, l2_miss_rate: 0.04, store_locality: 0.8079, burst_mean: 5.0, warm_lines: 2048, base_ipc: 1.5 },
-        SpecParams { name: "crafty", load_frac: 0.3, store_frac: 0.15, l1_miss_rate: 0.0837, l2_miss_rate: 0.03, store_locality: 0.8000, burst_mean: 5.0, warm_lines: 2048, base_ipc: 1.4 },
-        SpecParams { name: "gap", load_frac: 0.28, store_frac: 0.14, l1_miss_rate: 0.1008, l2_miss_rate: 0.05, store_locality: 0.8038, burst_mean: 5.0, warm_lines: 2048, base_ipc: 1.3 },
-        SpecParams { name: "mcf", load_frac: 0.35, store_frac: 0.08, l1_miss_rate: 0.2944, l2_miss_rate: 0.3, store_locality: 0.4662, burst_mean: 1.3, warm_lines: 4096, base_ipc: 0.6 },
-        SpecParams { name: "apsi", load_frac: 0.28, store_frac: 0.14, l1_miss_rate: 0.0776, l2_miss_rate: 0.1, store_locality: 0.8146, burst_mean: 4.0, warm_lines: 2048, base_ipc: 1.3 },
-        SpecParams { name: "twolf", load_frac: 0.3, store_frac: 0.12, l1_miss_rate: 0.0839, l2_miss_rate: 0.05, store_locality: 0.7890, burst_mean: 4.0, warm_lines: 2048, base_ipc: 1.1 },
-        SpecParams { name: "gcc", load_frac: 0.26, store_frac: 0.14, l1_miss_rate: 0.0698, l2_miss_rate: 0.08, store_locality: 0.8421, burst_mean: 3.0, warm_lines: 2048, base_ipc: 1.2 },
-        SpecParams { name: "gzip", load_frac: 0.25, store_frac: 0.12, l1_miss_rate: 0.0616, l2_miss_rate: 0.05, store_locality: 0.8641, burst_mean: 3.0, warm_lines: 1024, base_ipc: 1.3 },
-        SpecParams { name: "lucas", load_frac: 0.28, store_frac: 0.1, l1_miss_rate: 0.0751, l2_miss_rate: 0.3, store_locality: 0.8096, burst_mean: 4.0, warm_lines: 2048, base_ipc: 1.1 },
-        SpecParams { name: "equake", load_frac: 0.33, store_frac: 0.05, l1_miss_rate: 0.1661, l2_miss_rate: 0.75, store_locality: 0.8109, burst_mean: 4.0, warm_lines: 1024, base_ipc: 0.9 },
-        SpecParams { name: "swim", load_frac: 0.3, store_frac: 0.05, l1_miss_rate: 0.1424, l2_miss_rate: 0.8, store_locality: 0.7974, burst_mean: 5.0, warm_lines: 1024, base_ipc: 1.0 },
-        SpecParams { name: "wupwise", load_frac: 0.28, store_frac: 0.1, l1_miss_rate: 0.0354, l2_miss_rate: 0.2, store_locality: 0.8940, burst_mean: 3.0, warm_lines: 1024, base_ipc: 1.4 },
-        SpecParams { name: "ammp", load_frac: 0.28, store_frac: 0.1, l1_miss_rate: 0.0378, l2_miss_rate: 0.1, store_locality: 0.8786, burst_mean: 2.0, warm_lines: 1024, base_ipc: 1.0 },
-        SpecParams { name: "bzip2", load_frac: 0.26, store_frac: 0.12, l1_miss_rate: 0.0224, l2_miss_rate: 0.05, store_locality: 0.9290, burst_mean: 2.0, warm_lines: 1024, base_ipc: 1.2 },
-        SpecParams { name: "mgrid", load_frac: 0.3, store_frac: 0.08, l1_miss_rate: 0.0203, l2_miss_rate: 0.1, store_locality: 0.9162, burst_mean: 3.0, warm_lines: 1024, base_ipc: 1.1 },
-        SpecParams { name: "sixtrack", load_frac: 0.25, store_frac: 0.08, l1_miss_rate: 0.0101, l2_miss_rate: 0.05, store_locality: 0.9623, burst_mean: 2.0, warm_lines: 1024, base_ipc: 1.6 },
+        SpecParams {
+            name: "art",
+            load_frac: 0.34,
+            store_frac: 0.12,
+            l1_miss_rate: 0.2508,
+            l2_miss_rate: 0.06,
+            store_locality: 0.4695,
+            burst_mean: 8.0,
+            warm_lines: 4096,
+            base_ipc: 1.3,
+        },
+        SpecParams {
+            name: "vpr",
+            load_frac: 0.32,
+            store_frac: 0.14,
+            l1_miss_rate: 0.1727,
+            l2_miss_rate: 0.05,
+            store_locality: 0.6614,
+            burst_mean: 6.0,
+            warm_lines: 4096,
+            base_ipc: 1.2,
+        },
+        SpecParams {
+            name: "mesa",
+            load_frac: 0.3,
+            store_frac: 0.16,
+            l1_miss_rate: 0.0897,
+            l2_miss_rate: 0.04,
+            store_locality: 0.8079,
+            burst_mean: 5.0,
+            warm_lines: 2048,
+            base_ipc: 1.5,
+        },
+        SpecParams {
+            name: "crafty",
+            load_frac: 0.3,
+            store_frac: 0.15,
+            l1_miss_rate: 0.0837,
+            l2_miss_rate: 0.03,
+            store_locality: 0.8000,
+            burst_mean: 5.0,
+            warm_lines: 2048,
+            base_ipc: 1.4,
+        },
+        SpecParams {
+            name: "gap",
+            load_frac: 0.28,
+            store_frac: 0.14,
+            l1_miss_rate: 0.1008,
+            l2_miss_rate: 0.05,
+            store_locality: 0.8038,
+            burst_mean: 5.0,
+            warm_lines: 2048,
+            base_ipc: 1.3,
+        },
+        SpecParams {
+            name: "mcf",
+            load_frac: 0.35,
+            store_frac: 0.08,
+            l1_miss_rate: 0.2944,
+            l2_miss_rate: 0.3,
+            store_locality: 0.4662,
+            burst_mean: 1.3,
+            warm_lines: 4096,
+            base_ipc: 0.6,
+        },
+        SpecParams {
+            name: "apsi",
+            load_frac: 0.28,
+            store_frac: 0.14,
+            l1_miss_rate: 0.0776,
+            l2_miss_rate: 0.1,
+            store_locality: 0.8146,
+            burst_mean: 4.0,
+            warm_lines: 2048,
+            base_ipc: 1.3,
+        },
+        SpecParams {
+            name: "twolf",
+            load_frac: 0.3,
+            store_frac: 0.12,
+            l1_miss_rate: 0.0839,
+            l2_miss_rate: 0.05,
+            store_locality: 0.7890,
+            burst_mean: 4.0,
+            warm_lines: 2048,
+            base_ipc: 1.1,
+        },
+        SpecParams {
+            name: "gcc",
+            load_frac: 0.26,
+            store_frac: 0.14,
+            l1_miss_rate: 0.0698,
+            l2_miss_rate: 0.08,
+            store_locality: 0.8421,
+            burst_mean: 3.0,
+            warm_lines: 2048,
+            base_ipc: 1.2,
+        },
+        SpecParams {
+            name: "gzip",
+            load_frac: 0.25,
+            store_frac: 0.12,
+            l1_miss_rate: 0.0616,
+            l2_miss_rate: 0.05,
+            store_locality: 0.8641,
+            burst_mean: 3.0,
+            warm_lines: 1024,
+            base_ipc: 1.3,
+        },
+        SpecParams {
+            name: "lucas",
+            load_frac: 0.28,
+            store_frac: 0.1,
+            l1_miss_rate: 0.0751,
+            l2_miss_rate: 0.3,
+            store_locality: 0.8096,
+            burst_mean: 4.0,
+            warm_lines: 2048,
+            base_ipc: 1.1,
+        },
+        SpecParams {
+            name: "equake",
+            load_frac: 0.33,
+            store_frac: 0.05,
+            l1_miss_rate: 0.1661,
+            l2_miss_rate: 0.75,
+            store_locality: 0.8109,
+            burst_mean: 4.0,
+            warm_lines: 1024,
+            base_ipc: 0.9,
+        },
+        SpecParams {
+            name: "swim",
+            load_frac: 0.3,
+            store_frac: 0.05,
+            l1_miss_rate: 0.1424,
+            l2_miss_rate: 0.8,
+            store_locality: 0.7974,
+            burst_mean: 5.0,
+            warm_lines: 1024,
+            base_ipc: 1.0,
+        },
+        SpecParams {
+            name: "wupwise",
+            load_frac: 0.28,
+            store_frac: 0.1,
+            l1_miss_rate: 0.0354,
+            l2_miss_rate: 0.2,
+            store_locality: 0.8940,
+            burst_mean: 3.0,
+            warm_lines: 1024,
+            base_ipc: 1.4,
+        },
+        SpecParams {
+            name: "ammp",
+            load_frac: 0.28,
+            store_frac: 0.1,
+            l1_miss_rate: 0.0378,
+            l2_miss_rate: 0.1,
+            store_locality: 0.8786,
+            burst_mean: 2.0,
+            warm_lines: 1024,
+            base_ipc: 1.0,
+        },
+        SpecParams {
+            name: "bzip2",
+            load_frac: 0.26,
+            store_frac: 0.12,
+            l1_miss_rate: 0.0224,
+            l2_miss_rate: 0.05,
+            store_locality: 0.9290,
+            burst_mean: 2.0,
+            warm_lines: 1024,
+            base_ipc: 1.2,
+        },
+        SpecParams {
+            name: "mgrid",
+            load_frac: 0.3,
+            store_frac: 0.08,
+            l1_miss_rate: 0.0203,
+            l2_miss_rate: 0.1,
+            store_locality: 0.9162,
+            burst_mean: 3.0,
+            warm_lines: 1024,
+            base_ipc: 1.1,
+        },
+        SpecParams {
+            name: "sixtrack",
+            load_frac: 0.25,
+            store_frac: 0.08,
+            l1_miss_rate: 0.0101,
+            l2_miss_rate: 0.05,
+            store_locality: 0.9623,
+            burst_mean: 2.0,
+            warm_lines: 1024,
+            base_ipc: 1.6,
+        },
     ];
     &P
 }
@@ -119,8 +299,10 @@ impl SyntheticSpec {
     /// Creates a generator for `params`, seeded by benchmark name and
     /// thread so every run is reproducible.
     pub fn new(params: SpecParams, thread: ThreadId) -> SyntheticSpec {
-        let name_seed: u64 =
-            params.name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+        let name_seed: u64 = params
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
         SyntheticSpec {
             base: u64::from(thread.0) * THREAD_STRIDE,
             rng: SplitMix64::new(name_seed ^ (u64::from(thread.0) << 56) ^ 0x5EED),

@@ -70,9 +70,8 @@ pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
         let op = match tag {
             "N" => Op::NonMem,
             "L" | "S" => {
-                let addr = parts
-                    .next()
-                    .ok_or_else(|| err(format!("'{tag}' needs a line address")))?;
+                let addr =
+                    parts.next().ok_or_else(|| err(format!("'{tag}' needs a line address")))?;
                 let addr = parse_line_addr(addr).map_err(|e| err(format!("bad address: {e}")))?;
                 if tag == "L" {
                     Op::Load(addr)
@@ -152,7 +151,10 @@ impl FromStr for TraceWorkload {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let ops = parse_trace(s)?;
         if ops.is_empty() {
-            return Err(ParseTraceError { line: 0, message: "trace contains no operations".into() });
+            return Err(ParseTraceError {
+                line: 0,
+                message: "trace contains no operations".into(),
+            });
         }
         Ok(TraceWorkload::new("trace", ops))
     }
@@ -173,7 +175,8 @@ impl Workload for TraceWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vpc_sim::check::{self, Config};
+    use vpc_sim::{ensure_eq, SplitMix64};
 
     #[test]
     fn parses_all_op_kinds() {
@@ -233,21 +236,22 @@ mod tests {
         }
     }
 
-    fn arb_op() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            Just(Op::NonMem),
-            (0u64..1 << 40).prop_map(|l| Op::Load(LineAddr(l))),
-            (0u64..1 << 40).prop_map(|l| Op::Store(LineAddr(l))),
-            (1u8..=64).prop_map(Op::Bubble),
-        ]
+    fn arb_op(rng: &mut SplitMix64) -> Op {
+        match rng.below(4) {
+            0 => Op::NonMem,
+            1 => Op::Load(LineAddr(rng.below(1 << 40))),
+            2 => Op::Store(LineAddr(rng.below(1 << 40))),
+            _ => Op::Bubble(1 + rng.below(64) as u8),
+        }
     }
 
-    proptest! {
-        #[test]
-        fn format_parse_roundtrip(ops in proptest::collection::vec(arb_op(), 1..200)) {
-            let text = format_trace(&ops);
-            let back = parse_trace(&text).unwrap();
-            prop_assert_eq!(ops, back);
-        }
+    #[test]
+    fn format_parse_roundtrip() {
+        check::forall_seq("format_parse_roundtrip", Config::cases(256), (1, 199), arb_op, |ops| {
+            let text = format_trace(ops);
+            let back = parse_trace(&text).map_err(|e| e.to_string())?;
+            ensure_eq!(ops, &back[..]);
+            Ok(())
+        });
     }
 }

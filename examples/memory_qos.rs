@@ -12,9 +12,7 @@ use vpc::prelude::*;
 use vpc_mem::ChannelMode;
 
 fn subject_ipc(channels: ChannelMode) -> f64 {
-    let cfg = CmpConfig::table1()
-        .with_arbiter(ArbiterPolicy::vpc_equal(4))
-        .with_channels(channels);
+    let cfg = CmpConfig::table1().with_arbiter(ArbiterPolicy::vpc_equal(4)).with_channels(channels);
     // A latency-sensitive subject against three streaming memory hogs.
     let workloads = [
         WorkloadSpec::Spec("mcf"),

@@ -29,7 +29,11 @@ fn main() {
 
     // Unmanaged baseline.
     let fcfs = fig9::run_subject(&base, subject, ArbiterPolicy::Fcfs, budget);
-    println!("FCFS shared cache:           IPC {:.3}  ({:.0}% of standalone)", fcfs, 100.0 * fcfs / full);
+    println!(
+        "FCFS shared cache:           IPC {:.3}  ({:.0}% of standalone)",
+        fcfs,
+        100.0 * fcfs / full
+    );
 
     // VPC with increasing guarantees.
     for (num, den) in [(1u32, 4u32), (1, 2), (1, 1)] {

@@ -36,10 +36,22 @@ fn main() {
     // provisioned like its VPC (Section 5.3 of the paper).
     let base = CmpConfig::table1_with_threads(2);
     let half_ways = Share::new(1, 2).unwrap();
-    let loads_target =
-        target_ipc(&base, WorkloadSpec::Loads, Share::new(3, 4).unwrap(), half_ways, 30_000, 120_000);
-    let stores_target =
-        target_ipc(&base, WorkloadSpec::Stores, Share::new(1, 4).unwrap(), half_ways, 30_000, 120_000);
+    let loads_target = target_ipc(
+        &base,
+        WorkloadSpec::Loads,
+        Share::new(3, 4).unwrap(),
+        half_ways,
+        30_000,
+        120_000,
+    );
+    let stores_target = target_ipc(
+        &base,
+        WorkloadSpec::Stores,
+        Share::new(1, 4).unwrap(),
+        half_ways,
+        30_000,
+        120_000,
+    );
 
     println!("VPC arbiters (Loads 75% / Stores 25%):");
     println!("  Loads  IPC = {:.3}  (target {:.3})", m.ipc[0], loads_target);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline: the workspace is hermetic
+# (std-only, path dependencies only), so a network-less build MUST work.
+# Any attempt to pull a registry crate is a failure, not an environment
+# problem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release, offline) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+    echo "== clippy =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy not installed; skipping =="
+fi
+
+echo "CI OK"

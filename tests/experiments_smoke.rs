@@ -52,10 +52,7 @@ fn fig8_smoke() {
     // With the tiny warm-up the load stream still has miss gaps that let a
     // few stores through; the steady-state starvation check lives in
     // tests/qos_end_to_end.rs.
-    assert!(
-        row.stores_ipc < row.loads_ipc * 0.3,
-        "RoW heavily favors loads: {row:?}"
-    );
+    assert!(row.stores_ipc < row.loads_ipc * 0.3, "RoW heavily favors loads: {row:?}");
     let vpc100 = r.row("VPC 100%").expect("VPC 100% row");
     let vpc0 = r.row("VPC 0%").expect("VPC 0% row");
     assert!(

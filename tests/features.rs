@@ -24,8 +24,7 @@ fn recorded_trace_reproduces_the_generator_through_the_full_system() {
     assert_eq!(trace.len(), ops);
 
     let fresh_generator = spec::workload("art", ThreadId(0)).unwrap();
-    let mut sys_gen =
-        CmpSystem::with_workloads(quick_config(1), vec![Box::new(fresh_generator)]);
+    let mut sys_gen = CmpSystem::with_workloads(quick_config(1), vec![Box::new(fresh_generator)]);
     let mut sys_trace = CmpSystem::with_workloads(quick_config(1), vec![Box::new(trace)]);
 
     // 30k cycles dispatch far fewer than 200k ops, so no wrap occurs.
@@ -51,11 +50,7 @@ fn vpm_repartitioning_shifts_qos_between_live_threads() {
     let snap = sys.snapshot();
     sys.run(40_000);
     let phase1 = sys.measure(&snap);
-    assert!(
-        phase1.ipc[0] > phase1.ipc[1] * 2.0,
-        "phase 1: thread 0 dominates: {:?}",
-        phase1.ipc
-    );
+    assert!(phase1.ipc[0] > phase1.ipc[1] * 2.0, "phase 1: thread 0 dominates: {:?}", phase1.ipc);
 
     let flipped = VpmConfig::new(vec![
         VpmAllocation::symmetric(Share::new(1, 4).unwrap()),
@@ -129,10 +124,7 @@ fn spec_calibration_matches_figure6_shape() {
     // within a tolerance band.
     let utils: Vec<f64> = r.rows.iter().map(|row| row.util.data_array).collect();
     for w in utils.windows(2) {
-        assert!(
-            w[1] <= w[0] * 1.15,
-            "ordering violated: {utils:?}"
-        );
+        assert!(w[1] <= w[0] * 1.15, "ordering violated: {utils:?}");
     }
     // Streaming benchmarks invert tag vs data.
     let swim = r.row("swim").unwrap();

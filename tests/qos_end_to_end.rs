@@ -89,7 +89,8 @@ fn excess_bandwidth_is_work_conserved() {
     let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Loads, WorkloadSpec::Idle]);
     let m = sys.run_measured(budget.warmup, budget.window);
     let base = quick_base(2);
-    let guarantee = target_ipc(&base, WorkloadSpec::Loads, half, half, budget.warmup, budget.window);
+    let guarantee =
+        target_ipc(&base, WorkloadSpec::Loads, half, half, budget.warmup, budget.window);
     assert!(
         m.ipc[0] > guarantee * 1.5,
         "idle partner's bandwidth should flow to Loads: IPC {:.3} vs guarantee {:.3}",
@@ -122,8 +123,14 @@ fn four_thread_system_meets_equal_share_targets() {
     let m = sys.run_measured(budget.warmup, budget.window);
     let quarter = Share::new(1, 4).unwrap();
     for (i, b) in mix.iter().enumerate() {
-        let target =
-            target_ipc(&base, WorkloadSpec::Spec(b), quarter, quarter, budget.warmup, budget.window);
+        let target = target_ipc(
+            &base,
+            WorkloadSpec::Spec(b),
+            quarter,
+            quarter,
+            budget.warmup,
+            budget.window,
+        );
         assert!(
             m.ipc[i] >= target * 0.9,
             "{b}: shared IPC {:.3} below equal-share target {:.3}",
