@@ -1,13 +1,17 @@
 //! Ablations: reordering, capacity manager, preemption latency, work
 //! conservation.
 
+use std::time::Instant;
+
 use vpc::experiments::ablations;
 use vpc::prelude::*;
 
 fn main() {
     let budget = vpc_bench::budget_from_args();
+    let jobs = vpc_bench::jobs_from_args();
     vpc_bench::header("Ablations", budget);
     let base = CmpConfig::table1();
+    let start = Instant::now();
     println!("{}", ablations::reorder(&base, budget));
     println!("{}", ablations::capacity(&base, budget));
     println!("{}", ablations::preemption(&base, budget));
@@ -16,4 +20,5 @@ fn main() {
     println!("{}", ablations::fairness_policies(&base, budget));
     println!("{}", ablations::scaling(&base, budget));
     println!("{}", ablations::work_conservation(&base, budget));
+    vpc_bench::report_timings("ablations", jobs, start.elapsed());
 }

@@ -8,6 +8,7 @@
 //! `--quick` for a fast smoke pass.
 
 use std::hint::black_box;
+use std::time::Instant;
 
 use vpc::experiments::{ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9, RunBudget};
 use vpc::prelude::*;
@@ -25,6 +26,8 @@ fn tiny() -> RunBudget {
 
 fn main() {
     let mut suite = Suite::from_args("figures");
+    let jobs = vpc_bench::jobs_from_args();
+    let start = Instant::now();
     let base = small_base();
 
     suite.bench("fig4_bank_timing", 100, || black_box(fig4::run(&base)));
@@ -54,4 +57,5 @@ fn main() {
     });
 
     suite.finish();
+    vpc_bench::report_timings("bench_figures", jobs, start.elapsed());
 }

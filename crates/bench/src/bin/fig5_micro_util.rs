@@ -1,16 +1,22 @@
 //! Figure 5: microbenchmark L2 utilization vs. number of banks.
 
+use std::time::Instant;
+
 use vpc::experiments::fig5;
 use vpc::prelude::*;
 use vpc::report::{to_json, Fig5Report};
 
 fn main() {
     let budget = vpc_bench::budget_from_args();
+    let jobs = vpc_bench::jobs_from_args();
+    let start = Instant::now();
     let result = fig5::run(&CmpConfig::table1(), budget);
+    let wall = start.elapsed();
     if vpc_bench::json_requested() {
         println!("{}", to_json(&Fig5Report::from(&result)));
     } else {
         vpc_bench::header("Figure 5", budget);
         println!("{result}");
     }
+    vpc_bench::report_timings("fig5", jobs, wall);
 }

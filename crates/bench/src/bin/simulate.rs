@@ -17,6 +17,7 @@ use std::process::ExitCode;
 
 use vpc::prelude::*;
 use vpc_mem::ChannelMode;
+use vpc_sim::exec;
 use vpc_workloads::SPEC_NAMES;
 
 #[derive(Debug)]
@@ -29,6 +30,7 @@ struct Args {
     cycles: u64,
     channels: String,
     lru_capacity: bool,
+    jobs: Option<usize>,
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadSpec, String> {
@@ -59,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         cycles: 200_000,
         channels: "private".into(),
         lru_capacity: false,
+        jobs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,11 +91,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--channels" => args.channels = value("--channels")?,
             "--lru-capacity" => args.lru_capacity = true,
+            "--jobs" => {
+                let n: usize = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs needs a positive integer".into());
+                }
+                args.jobs = Some(n);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: simulate [--workloads a,b,c,d] [--arbiter fcfs|row|rr|vpc|drr|sfq]\n\
                      \x20               [--shares p/q,...] [--banks N] [--warmup N] [--cycles N]\n\
-                     \x20               [--channels private|shared-fcfs|shared-fq] [--lru-capacity]"
+                     \x20               [--channels private|shared-fcfs|shared-fq] [--lru-capacity]\n\
+                     \x20               [--jobs N]"
                 );
                 std::process::exit(0);
             }
@@ -124,6 +135,9 @@ fn build_arbiter(args: &Args) -> Result<ArbiterPolicy, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    // Installed process-wide so any pooled work (and future parallel
+    // paths) honors the flag; the single CmpSystem run itself is serial.
+    exec::set_jobs(args.jobs);
     let threads = args.workloads.len();
     if threads == 0 || threads > 8 {
         return Err("1 to 8 workloads required".into());

@@ -6,7 +6,11 @@
 //! Reproduction notes for each experiment live in `EXPERIMENTS.md` at the
 //! repository root.
 
+use std::time::Duration;
+
 use vpc::experiments::RunBudget;
+use vpc::report::TimingReport;
+use vpc_sim::exec;
 
 pub mod harness;
 
@@ -19,6 +23,54 @@ pub fn budget_from_args() -> RunBudget {
     } else {
         RunBudget::standard()
     }
+}
+
+/// Parses `--jobs N` / `--jobs=N`, installs it as the process-wide worker
+/// count override, and returns the effective worker count (falling back
+/// to `VPC_JOBS`, then the host's available parallelism). Exits with an
+/// error on a malformed value — silently running serial would defeat the
+/// point of the flag.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut explicit = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = if let Some(v) = args[i].strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else if args[i] == "--jobs" {
+            i += 1;
+            args.get(i).cloned()
+        } else {
+            i += 1;
+            continue;
+        };
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n > 0 => explicit = Some(n),
+            _ => {
+                eprintln!("error: --jobs needs a positive integer, got {value:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    exec::set_jobs(explicit);
+    exec::jobs()
+}
+
+/// Drains the per-job timings behind the run just finished and prints
+/// them to **stderr** (stdout must stay byte-identical across `--jobs`
+/// settings, so wall-clock noise never lands there).
+pub fn report_timings(what: &str, jobs: usize, wall: Duration) {
+    let timings = TimingReport::drain();
+    if timings.is_empty() {
+        return;
+    }
+    eprintln!(
+        "-- {what}: {:.3} s wall at --jobs {jobs}, effective parallelism {:.1}x --",
+        wall.as_secs_f64(),
+        timings.total.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+    );
+    eprint!("{timings}");
 }
 
 /// Whether `--json` was passed (machine-readable output).

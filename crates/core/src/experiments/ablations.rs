@@ -17,6 +17,7 @@ use std::fmt;
 use vpc_arbiters::{ArbiterPolicy, IntraThreadOrder};
 use vpc_cache::CapacityPolicy;
 use vpc_mem::ChannelMode;
+use vpc_sim::exec::{self, Job};
 use vpc_sim::Share;
 
 use crate::config::{CmpConfig, WorkloadSpec};
@@ -63,8 +64,16 @@ pub fn reorder(base: &CmpConfig, budget: RunBudget) -> ReorderResult {
         let m = sys.run_measured(budget.warmup, budget.window);
         (m.ipc[0], m.ipc[1])
     };
-    let (fifo_ipc, fifo_partner_ipc) = run_with(IntraThreadOrder::Fifo);
-    let (row_ipc, row_partner_ipc) = run_with(IntraThreadOrder::ReadOverWrite);
+    let run_with = &run_with;
+    let jobs = [("fifo", IntraThreadOrder::Fifo), ("row", IntraThreadOrder::ReadOverWrite)]
+        .map(|(label, order)| {
+            Job::new(format!("ablations/reorder/{label}"), move || run_with(order))
+        })
+        .into_iter()
+        .collect();
+    let results = exec::map_indexed(jobs, exec::jobs());
+    let (fifo_ipc, fifo_partner_ipc) = results[0];
+    let (row_ipc, row_partner_ipc) = results[1];
     ReorderResult { fifo_ipc, row_ipc, fifo_partner_ipc, row_partner_ipc }
 }
 
@@ -109,10 +118,15 @@ pub fn capacity(base: &CmpConfig, budget: RunBudget) -> CapacityResult {
         let m = sys.run_measured(budget.warmup, budget.window * 2);
         m.ipc[0]
     };
-    CapacityResult {
-        lru_ipc: run_with(CapacityPolicy::Lru),
-        vpc_ipc: run_with(CapacityPolicy::vpc_equal(4)),
-    }
+    let run_with = &run_with;
+    let jobs = [("lru", CapacityPolicy::Lru), ("vpc", CapacityPolicy::vpc_equal(4))]
+        .map(|(label, policy)| {
+            Job::new(format!("ablations/capacity/{label}"), move || run_with(policy))
+        })
+        .into_iter()
+        .collect();
+    let results = exec::map_indexed(jobs, exec::jobs());
+    CapacityResult { lru_ipc: results[0], vpc_ipc: results[1] }
 }
 
 /// One point of the preemption-latency sweep.
@@ -159,39 +173,41 @@ impl fmt::Display for PreemptionResult {
 pub fn preemption(base: &CmpConfig, budget: RunBudget) -> PreemptionResult {
     let quarter = Share::new(1, 4).expect("quarter");
     let subject = vpc_sim::ThreadId(0);
-    let points = [4u64, 8, 16]
+    let jobs = [4u64, 8, 16]
         .iter()
         .map(|&lat| {
-            let mut cfg = base.clone();
-            cfg.l2.data_latency = lat;
-            let run_cfg =
-                cfg.clone().with_arbiter(crate::experiments::fig9::subject_share_policy(1, 2));
-            let workloads = [
-                WorkloadSpec::Spec("mcf"),
-                WorkloadSpec::Stores,
-                WorkloadSpec::Stores,
-                WorkloadSpec::Stores,
-            ];
-            let mut sys = CmpSystem::new(run_cfg, &workloads);
-            let m = sys.run_measured(budget.warmup, budget.window);
-            let hist = sys.l2().read_latency(subject);
-            let target = target_ipc(
-                &cfg,
-                WorkloadSpec::Spec("mcf"),
-                Share::new(1, 2).unwrap(),
-                quarter,
-                budget.warmup,
-                budget.window,
-            );
-            PreemptionPoint {
-                data_latency: lat,
-                normalized_ipc: if target > 0.0 { m.ipc[0] / target } else { 0.0 },
-                mean_read_latency: hist.mean(),
-                p95_read_latency: hist.percentile(0.95),
-            }
+            Job::new(format!("ablations/preemption/data_latency_{lat}"), move || {
+                let mut cfg = base.clone();
+                cfg.l2.data_latency = lat;
+                let run_cfg =
+                    cfg.clone().with_arbiter(crate::experiments::fig9::subject_share_policy(1, 2));
+                let workloads = [
+                    WorkloadSpec::Spec("mcf"),
+                    WorkloadSpec::Stores,
+                    WorkloadSpec::Stores,
+                    WorkloadSpec::Stores,
+                ];
+                let mut sys = CmpSystem::new(run_cfg, &workloads);
+                let m = sys.run_measured(budget.warmup, budget.window);
+                let hist = sys.l2().read_latency(subject);
+                let target = target_ipc(
+                    &cfg,
+                    WorkloadSpec::Spec("mcf"),
+                    Share::new(1, 2).unwrap(),
+                    quarter,
+                    budget.warmup,
+                    budget.window,
+                );
+                PreemptionPoint {
+                    data_latency: lat,
+                    normalized_ipc: if target > 0.0 { m.ipc[0] / target } else { 0.0 },
+                    mean_read_latency: hist.mean(),
+                    p95_read_latency: hist.percentile(0.95),
+                }
+            })
         })
         .collect();
-    PreemptionResult { points }
+    PreemptionResult { points: exec::map_indexed(jobs, exec::jobs()) }
 }
 
 /// Result of the shared-memory-channel scheduling ablation.
@@ -250,11 +266,24 @@ pub fn memory_fq(base: &CmpConfig, budget: RunBudget) -> MemoryFqResult {
     let quarter = Share::new(1, 4).expect("quarter");
     let half = Share::new(1, 2).expect("half");
     let sixth = Share::new(1, 6).expect("sixth");
+    let run_with = &run_with;
+    let jobs = [
+        ("fcfs", ChannelMode::SharedFcfs),
+        ("fq_equal", ChannelMode::SharedFq { shares: vec![quarter; 4] }),
+        ("fq_half", ChannelMode::SharedFq { shares: vec![half, sixth, sixth, sixth] }),
+        ("private", ChannelMode::PerThread),
+    ]
+    .map(|(label, channels)| {
+        Job::new(format!("ablations/memory_fq/{label}"), move || run_with(channels))
+    })
+    .into_iter()
+    .collect();
+    let results = exec::map_indexed(jobs, exec::jobs());
     MemoryFqResult {
-        fcfs_ipc: run_with(ChannelMode::SharedFcfs),
-        fq_equal_ipc: run_with(ChannelMode::SharedFq { shares: vec![quarter; 4] }),
-        fq_half_ipc: run_with(ChannelMode::SharedFq { shares: vec![half, sixth, sixth, sixth] }),
-        private_ipc: run_with(ChannelMode::PerThread),
+        fcfs_ipc: results[0],
+        fq_equal_ipc: results[1],
+        fq_half_ipc: results[2],
+        private_ipc: results[3],
     }
 }
 
@@ -340,27 +369,36 @@ pub fn fairness_policies(base: &CmpConfig, budget: RunBudget) -> FairnessResult 
             _ => unreachable!("unknown policy"),
         }
     };
-    let rows = ["VPC", "DRR", "SFQ"]
+    let two_way = &two_way;
+    let four_way = &four_way;
+    let jobs = ["VPC", "DRR", "SFQ"]
         .iter()
         .map(|&label| {
-            // (a) Loads + Stores at 50/50.
-            let mut cfg = base.clone().with_arbiter(two_way(label));
-            cfg.processors = 2;
-            cfg.l2.threads = 2;
-            cfg.l2.capacity = CapacityPolicy::vpc_equal(2);
-            let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Loads, WorkloadSpec::Stores]);
-            let m = sys.run_measured(budget.warmup, budget.window);
-            // (b) mcf at beta = 1/2 vs 3x Stores.
-            let subject_ipc =
-                crate::experiments::fig9::run_subject_with(base, "mcf", four_way(label), budget);
-            FairnessRow {
-                policy: label.to_string(),
-                loads_ipc: m.ipc[0],
-                stores_ipc: m.ipc[1],
-                subject_ipc,
-            }
+            Job::new(format!("ablations/fairness/{label}"), move || {
+                // (a) Loads + Stores at 50/50.
+                let mut cfg = base.clone().with_arbiter(two_way(label));
+                cfg.processors = 2;
+                cfg.l2.threads = 2;
+                cfg.l2.capacity = CapacityPolicy::vpc_equal(2);
+                let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Loads, WorkloadSpec::Stores]);
+                let m = sys.run_measured(budget.warmup, budget.window);
+                // (b) mcf at beta = 1/2 vs 3x Stores.
+                let subject_ipc = crate::experiments::fig9::run_subject_with(
+                    base,
+                    "mcf",
+                    four_way(label),
+                    budget,
+                );
+                FairnessRow {
+                    policy: label.to_string(),
+                    loads_ipc: m.ipc[0],
+                    stores_ipc: m.ipc[1],
+                    subject_ipc,
+                }
+            })
         })
         .collect();
+    let rows = exec::map_indexed(jobs, exec::jobs());
     FairnessResult {
         rows,
         loads_target: target_ipc(
@@ -444,8 +482,16 @@ pub fn prefetch(base: &CmpConfig, budget: RunBudget) -> PrefetchResult {
         let m = sys.run_measured(budget.warmup, budget.window);
         (m.ipc[0], m.ipc[1])
     };
-    let (subject_no_pf, neighbor_no_pf) = run_with(0);
-    let (subject_with_pf, neighbor_with_pf) = run_with(4);
+    let run_with = &run_with;
+    let jobs = [("off", 0usize), ("degree4", 4)]
+        .map(|(label, degree)| {
+            Job::new(format!("ablations/prefetch/{label}"), move || run_with(degree))
+        })
+        .into_iter()
+        .collect();
+    let results = exec::map_indexed(jobs, exec::jobs());
+    let (subject_no_pf, neighbor_no_pf) = results[0];
+    let (subject_with_pf, neighbor_with_pf) = results[1];
     PrefetchResult {
         subject_no_pf,
         subject_with_pf,
@@ -489,38 +535,40 @@ impl fmt::Display for ScalingResult {
 /// shares; checks that each thread still meets its `1/n` target. Bank
 /// count scales with threads as a designer would provision it.
 pub fn scaling(base: &CmpConfig, budget: RunBudget) -> ScalingResult {
-    let points = [2usize, 4, 8]
+    let jobs = [2usize, 4, 8]
         .iter()
         .map(|&threads| {
-            let share = Share::new(1, threads as u32).expect("1/threads");
-            let banks = (threads / 2).max(2);
-            let mut cfg = base
-                .clone()
-                .with_banks(banks)
-                .with_arbiter(ArbiterPolicy::Vpc {
-                    shares: vec![share; threads],
-                    order: IntraThreadOrder::ReadOverWrite,
-                })
-                .with_capacity(CapacityPolicy::Vpc { shares: vec![share; threads] });
-            cfg.processors = threads;
-            cfg.l2.threads = threads;
-            let workloads = vec![WorkloadSpec::Spec("gcc"); threads];
-            let mut sys = CmpSystem::new(cfg, &workloads);
-            let m = sys.run_measured(budget.warmup, budget.window);
-            let target_base = base.clone().with_banks(banks);
-            let target = target_ipc(
-                &target_base,
-                WorkloadSpec::Spec("gcc"),
-                share,
-                share,
-                budget.warmup,
-                budget.window,
-            );
-            let met = m.ipc.iter().filter(|&&ipc| ipc >= target * 0.9).count();
-            (threads, met as f64 / threads as f64)
+            Job::new(format!("ablations/scaling/{threads}_threads"), move || {
+                let share = Share::new(1, threads as u32).expect("1/threads");
+                let banks = (threads / 2).max(2);
+                let mut cfg = base
+                    .clone()
+                    .with_banks(banks)
+                    .with_arbiter(ArbiterPolicy::Vpc {
+                        shares: vec![share; threads],
+                        order: IntraThreadOrder::ReadOverWrite,
+                    })
+                    .with_capacity(CapacityPolicy::Vpc { shares: vec![share; threads] });
+                cfg.processors = threads;
+                cfg.l2.threads = threads;
+                let workloads = vec![WorkloadSpec::Spec("gcc"); threads];
+                let mut sys = CmpSystem::new(cfg, &workloads);
+                let m = sys.run_measured(budget.warmup, budget.window);
+                let target_base = base.clone().with_banks(banks);
+                let target = target_ipc(
+                    &target_base,
+                    WorkloadSpec::Spec("gcc"),
+                    share,
+                    share,
+                    budget.warmup,
+                    budget.window,
+                );
+                let met = m.ipc.iter().filter(|&&ipc| ipc >= target * 0.9).count();
+                (threads, met as f64 / threads as f64)
+            })
         })
         .collect();
-    ScalingResult { points }
+    ScalingResult { points: exec::map_indexed(jobs, exec::jobs()) }
 }
 
 /// Result of the work-conservation check.
@@ -570,9 +618,17 @@ pub fn work_conservation(base: &CmpConfig, budget: RunBudget) -> WorkConservatio
         let m = sys.run_measured(budget.warmup, budget.window);
         m.ipc[0]
     };
+    let run_with = &run_with;
+    let jobs = [("busy", WorkloadSpec::Stores), ("idle", WorkloadSpec::Idle)]
+        .map(|(label, partner)| {
+            Job::new(format!("ablations/work_conservation/{label}"), move || run_with(partner))
+        })
+        .into_iter()
+        .collect();
+    let results = exec::map_indexed(jobs, exec::jobs());
     WorkConservationResult {
-        busy_partner_ipc: run_with(WorkloadSpec::Stores),
-        idle_partner_ipc: run_with(WorkloadSpec::Idle),
+        busy_partner_ipc: results[0],
+        idle_partner_ipc: results[1],
         half_target: target_ipc(
             base,
             WorkloadSpec::Loads,

@@ -21,6 +21,7 @@ use std::fmt;
 
 use vpc_arbiters::ArbiterPolicy;
 use vpc_cache::CapacityPolicy;
+use vpc_sim::exec::{self, Job};
 use vpc_sim::Share;
 
 use crate::config::{CmpConfig, WorkloadSpec};
@@ -198,21 +199,22 @@ pub fn run_mix(
     m.ipc
 }
 
-/// Standalone IPC of each benchmark in the mix (alone on the full CMP with
-/// an unmanaged cache — the secondary normalization baseline).
+/// Standalone IPC of one benchmark (alone on the full CMP with an
+/// unmanaged cache — the secondary normalization baseline).
+pub fn standalone_ipc(base: &CmpConfig, benchmark: &'static str, budget: RunBudget) -> f64 {
+    let mut cfg = base.clone();
+    cfg.processors = 1;
+    cfg.l2.threads = 1;
+    cfg.l2.arbiter = ArbiterPolicy::RowFcfs;
+    cfg.l2.capacity = CapacityPolicy::Lru;
+    let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Spec(benchmark)]);
+    let m = sys.run_measured(budget.warmup, budget.window);
+    m.ipc[0]
+}
+
+/// Standalone IPC of each benchmark in the mix (see [`standalone_ipc`]).
 pub fn standalone_ipcs(base: &CmpConfig, mix: &[&'static str; 4], budget: RunBudget) -> Vec<f64> {
-    mix.iter()
-        .map(|b| {
-            let mut cfg = base.clone();
-            cfg.processors = 1;
-            cfg.l2.threads = 1;
-            cfg.l2.arbiter = ArbiterPolicy::RowFcfs;
-            cfg.l2.capacity = CapacityPolicy::Lru;
-            let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Spec(b)]);
-            let m = sys.run_measured(budget.warmup, budget.window);
-            m.ipc[0]
-        })
-        .collect()
+    mix.iter().map(|&b| standalone_ipc(base, b, budget)).collect()
 }
 
 /// Equal-share targets for each benchmark in the mix: the IPC of the
@@ -230,21 +232,61 @@ pub fn equal_share_targets(
         .collect()
 }
 
-/// Runs the full headline experiment over `mixes`.
+/// The number of independent simulations behind one mix: four
+/// equal-share targets, four standalone baselines, and the FCFS and VPC
+/// co-scheduled runs.
+const CELLS_PER_MIX: usize = 10;
+
+/// Runs the full headline experiment over `mixes`. Every target,
+/// standalone baseline and co-scheduled run is an independent simulation,
+/// so the whole `mixes x 10` grid runs as one parallel job batch.
 pub fn run(base: &CmpConfig, mixes: &[[&'static str; 4]], budget: RunBudget) -> Fig10Result {
+    let quarter = Share::new(1, 4).expect("quarter share");
+    // Uniform cell type: single-thread cells report one IPC, co-scheduled
+    // cells report all four.
+    let mut jobs: Vec<Job<'_, Vec<f64>>> = Vec::new();
+    for mix in mixes {
+        let name = mix.join("+");
+        for &b in mix {
+            jobs.push(Job::new(format!("fig10/{name}/target/{b}"), move || {
+                vec![target_ipc(
+                    base,
+                    WorkloadSpec::Spec(b),
+                    quarter,
+                    quarter,
+                    budget.warmup,
+                    budget.window,
+                )]
+            }));
+        }
+        for &b in mix {
+            jobs.push(Job::new(format!("fig10/{name}/standalone/{b}"), move || {
+                vec![standalone_ipc(base, b, budget)]
+            }));
+        }
+        jobs.push(Job::new(format!("fig10/{name}/fcfs"), move || {
+            run_mix(base, mix, ArbiterPolicy::Fcfs, budget)
+        }));
+        jobs.push(Job::new(format!("fig10/{name}/vpc"), move || {
+            run_mix(base, mix, ArbiterPolicy::vpc_equal(4), budget)
+        }));
+    }
+
+    let cells = exec::map_indexed(jobs, exec::jobs());
     let results = mixes
         .iter()
-        .map(|mix| {
-            let targets = equal_share_targets(base, mix, budget);
-            let alone = standalone_ipcs(base, mix, budget);
-            let fcfs = run_mix(base, mix, ArbiterPolicy::Fcfs, budget);
-            let vpc = run_mix(base, mix, ArbiterPolicy::vpc_equal(4), budget);
+        .zip(cells.chunks_exact(CELLS_PER_MIX))
+        .map(|(mix, cell)| {
+            let targets: Vec<f64> = cell[0..4].iter().map(|c| c[0]).collect();
+            let alone: Vec<f64> = cell[4..8].iter().map(|c| c[0]).collect();
+            let fcfs = &cell[8];
+            let vpc = &cell[9];
             MixResult {
                 mix: *mix,
-                fcfs_norm: normalized_ipcs(&fcfs, &targets),
-                vpc_norm: normalized_ipcs(&vpc, &targets),
-                fcfs_standalone: normalized_ipcs(&fcfs, &alone),
-                vpc_standalone: normalized_ipcs(&vpc, &alone),
+                fcfs_norm: normalized_ipcs(fcfs, &targets),
+                vpc_norm: normalized_ipcs(vpc, &targets),
+                fcfs_standalone: normalized_ipcs(fcfs, &alone),
+                vpc_standalone: normalized_ipcs(vpc, &alone),
             }
         })
         .collect();

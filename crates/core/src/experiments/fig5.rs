@@ -12,6 +12,7 @@ use crate::config::{CmpConfig, WorkloadSpec};
 use crate::experiments::{bar, pct, RunBudget};
 use crate::system::CmpSystem;
 use vpc_cache::L2Utilization;
+use vpc_sim::exec::{self, Job};
 
 /// One bar group of Figure 5.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,20 +63,22 @@ impl fmt::Display for Fig5Result {
     }
 }
 
-/// Runs the Figure 5 sweep.
+/// Runs the Figure 5 sweep, one parallel job per (benchmark, bank count).
 pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig5Result {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for benchmark in [WorkloadSpec::Loads, WorkloadSpec::Stores] {
         for banks in [2usize, 4, 8, 16] {
-            let mut cfg = base.clone().with_banks(banks);
-            cfg.processors = 1;
-            cfg.l2.threads = 1;
-            let mut sys = CmpSystem::new(cfg, &[benchmark]);
-            let m = sys.run_measured(budget.warmup, budget.window);
-            rows.push(Fig5Row { benchmark: benchmark.name(), banks, util: m.util });
+            jobs.push(Job::new(format!("fig5/{} {}B", benchmark.name(), banks), move || {
+                let mut cfg = base.clone().with_banks(banks);
+                cfg.processors = 1;
+                cfg.l2.threads = 1;
+                let mut sys = CmpSystem::new(cfg, &[benchmark]);
+                let m = sys.run_measured(budget.warmup, budget.window);
+                Fig5Row { benchmark: benchmark.name(), banks, util: m.util }
+            }));
         }
     }
-    Fig5Result { rows }
+    Fig5Result { rows: exec::map_indexed(jobs, exec::jobs()) }
 }
 
 #[cfg(test)]

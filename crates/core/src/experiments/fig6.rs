@@ -9,6 +9,7 @@
 use std::fmt;
 
 use vpc_cache::L2Utilization;
+use vpc_sim::exec::{self, Job};
 use vpc_workloads::SPEC_NAMES;
 
 use crate::config::{CmpConfig, WorkloadSpec};
@@ -75,9 +76,13 @@ pub fn run_one(base: &CmpConfig, benchmark: &'static str, budget: RunBudget) -> 
     Fig6Row { benchmark, util: m.util, ipc: m.ipc[0] }
 }
 
-/// Runs the full 18-benchmark series.
+/// Runs the full 18-benchmark series, one parallel job per benchmark.
 pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig6Result {
-    Fig6Result { rows: SPEC_NAMES.iter().map(|b| run_one(base, b, budget)).collect() }
+    let jobs = SPEC_NAMES
+        .iter()
+        .map(|&b| Job::new(format!("fig6/{b}"), move || run_one(base, b, budget)))
+        .collect();
+    Fig6Result { rows: exec::map_indexed(jobs, exec::jobs()) }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use vpc_sim::exec::{self, Job};
 use vpc_workloads::SPEC_NAMES;
 
 use crate::config::{CmpConfig, WorkloadSpec};
@@ -71,24 +72,27 @@ impl fmt::Display for Fig7Result {
     }
 }
 
-/// Runs the full series (each benchmark alone on the baseline cache).
+/// Runs the full series (each benchmark alone on the baseline cache), one
+/// parallel job per benchmark.
 pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig7Result {
-    let rows = SPEC_NAMES
+    let jobs = SPEC_NAMES
         .iter()
-        .map(|benchmark| {
-            let mut cfg = base.clone();
-            cfg.processors = 1;
-            cfg.l2.threads = 1;
-            let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Spec(benchmark)]);
-            let m = sys.run_measured(budget.warmup, budget.window);
-            Fig7Row {
-                benchmark,
-                l2_write_frac: m.l2_write_frac[0],
-                gathering_rate: m.gathering_rate[0],
-            }
+        .map(|&benchmark| {
+            Job::new(format!("fig7/{benchmark}"), move || {
+                let mut cfg = base.clone();
+                cfg.processors = 1;
+                cfg.l2.threads = 1;
+                let mut sys = CmpSystem::new(cfg, &[WorkloadSpec::Spec(benchmark)]);
+                let m = sys.run_measured(budget.warmup, budget.window);
+                Fig7Row {
+                    benchmark,
+                    l2_write_frac: m.l2_write_frac[0],
+                    gathering_rate: m.gathering_rate[0],
+                }
+            })
         })
         .collect();
-    Fig7Result { rows }
+    Fig7Result { rows: exec::map_indexed(jobs, exec::jobs()) }
 }
 
 #[cfg(test)]

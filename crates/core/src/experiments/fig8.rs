@@ -12,6 +12,7 @@
 use std::fmt;
 
 use vpc_arbiters::ArbiterPolicy;
+use vpc_sim::exec::{self, Job};
 use vpc_sim::Share;
 
 use crate::config::{CmpConfig, WorkloadSpec};
@@ -86,57 +87,62 @@ fn run_pair(base: &CmpConfig, arbiter: ArbiterPolicy, budget: RunBudget) -> (f64
 }
 
 /// Runs the Figure 8 sweep: RoW-FCFS, FCFS, and VPC with the Stores share
-/// at 0%, 25%, 50%, 75% and 100%.
+/// at 0%, 25%, 50%, 75% and 100% — one parallel job per arbiter
+/// configuration.
 pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig8Result {
-    let mut rows = Vec::new();
     let alpha = Share::new(1, 2).expect("two threads, equal ways");
+    let mut jobs: Vec<Job<'_, Fig8Row>> = Vec::new();
 
     for (label, arbiter) in
         [("RoW".to_string(), ArbiterPolicy::RowFcfs), ("FCFS".to_string(), ArbiterPolicy::Fcfs)]
     {
-        let (loads_ipc, stores_ipc, data_util) = run_pair(base, arbiter, budget);
-        rows.push(Fig8Row {
-            label,
-            loads_ipc,
-            stores_ipc,
-            loads_target: 0.0,
-            stores_target: 0.0,
-            data_util,
-        });
+        jobs.push(Job::new(format!("fig8/{label}"), move || {
+            let (loads_ipc, stores_ipc, data_util) = run_pair(base, arbiter, budget);
+            Fig8Row {
+                label,
+                loads_ipc,
+                stores_ipc,
+                loads_target: 0.0,
+                stores_target: 0.0,
+                data_util,
+            }
+        }));
     }
 
     for stores_pct in [0u32, 25, 50, 75, 100] {
-        let stores_share = Share::from_percent(stores_pct).expect("valid percent");
-        let loads_share = Share::from_percent(100 - stores_pct).expect("valid percent");
-        let arbiter = ArbiterPolicy::Vpc {
-            shares: vec![loads_share, stores_share],
-            order: vpc_arbiters::IntraThreadOrder::ReadOverWrite,
-        };
-        let (loads_ipc, stores_ipc, data_util) = run_pair(base, arbiter, budget);
-        rows.push(Fig8Row {
-            label: format!("VPC {stores_pct}%"),
-            loads_ipc,
-            stores_ipc,
-            loads_target: target_ipc(
-                base,
-                WorkloadSpec::Loads,
-                loads_share,
-                alpha,
-                budget.warmup,
-                budget.window,
-            ),
-            stores_target: target_ipc(
-                base,
-                WorkloadSpec::Stores,
-                stores_share,
-                alpha,
-                budget.warmup,
-                budget.window,
-            ),
-            data_util,
-        });
+        jobs.push(Job::new(format!("fig8/VPC {stores_pct}%"), move || {
+            let stores_share = Share::from_percent(stores_pct).expect("valid percent");
+            let loads_share = Share::from_percent(100 - stores_pct).expect("valid percent");
+            let arbiter = ArbiterPolicy::Vpc {
+                shares: vec![loads_share, stores_share],
+                order: vpc_arbiters::IntraThreadOrder::ReadOverWrite,
+            };
+            let (loads_ipc, stores_ipc, data_util) = run_pair(base, arbiter, budget);
+            Fig8Row {
+                label: format!("VPC {stores_pct}%"),
+                loads_ipc,
+                stores_ipc,
+                loads_target: target_ipc(
+                    base,
+                    WorkloadSpec::Loads,
+                    loads_share,
+                    alpha,
+                    budget.warmup,
+                    budget.window,
+                ),
+                stores_target: target_ipc(
+                    base,
+                    WorkloadSpec::Stores,
+                    stores_share,
+                    alpha,
+                    budget.warmup,
+                    budget.window,
+                ),
+                data_util,
+            }
+        }));
     }
-    Fig8Result { rows }
+    Fig8Result { rows: exec::map_indexed(jobs, exec::jobs()) }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use std::fmt;
 
 use vpc_arbiters::{ArbiterPolicy, IntraThreadOrder};
+use vpc_sim::exec::{self, Job};
 use vpc_sim::Share;
 
 use crate::config::{CmpConfig, WorkloadSpec};
@@ -165,47 +166,60 @@ pub fn subject_share_policy(num: u32, den: u32) -> ArbiterPolicy {
     ArbiterPolicy::Vpc { shares: vec![subject, bg, bg, bg], order: IntraThreadOrder::ReadOverWrite }
 }
 
+/// The number of independent simulations behind one Figure 9 row: three
+/// private-machine targets plus four co-scheduled runs.
+const CELLS_PER_ROW: usize = 7;
+
 /// Runs the full Figure 9 series for the given benchmarks (pass
-/// [`vpc_workloads::SPEC_NAMES`] for the paper's full set).
+/// [`vpc_workloads::SPEC_NAMES`] for the paper's full set). Every target
+/// and every per-share run is an independent simulation, so the whole
+/// `benchmarks x 7` grid runs as one parallel job batch.
 pub fn run(base: &CmpConfig, benchmarks: &[&'static str], budget: RunBudget) -> Fig9Result {
     let quarter = Share::new(1, 4).expect("alpha = 1/4");
+    // Each cell reports (ipc, data-array utilization); targets have no
+    // utilization series and report 0.0 there.
+    let mut jobs: Vec<Job<'_, (f64, f64)>> = Vec::new();
+    for &benchmark in benchmarks {
+        let spec = WorkloadSpec::Spec(benchmark);
+        let target_cells = [("target100", Share::FULL), ("target50", Share::new(1, 2).unwrap())];
+        for (label, beta) in target_cells {
+            jobs.push(Job::new(format!("fig9/{benchmark}/{label}"), move || {
+                (target_ipc(base, spec, beta, quarter, budget.warmup, budget.window), 0.0)
+            }));
+        }
+        jobs.push(Job::new(format!("fig9/{benchmark}/target25"), move || {
+            (target_ipc(base, spec, quarter, quarter, budget.warmup, budget.window), 0.0)
+        }));
+        jobs.push(Job::new(format!("fig9/{benchmark}/fcfs"), move || {
+            run_subject_detailed(base, benchmark, ArbiterPolicy::Fcfs, budget)
+        }));
+        for (label, num, den) in [("vpc25", 1u32, 4u32), ("vpc50", 1, 2), ("vpc100", 1, 1)] {
+            jobs.push(Job::new(format!("fig9/{benchmark}/{label}"), move || {
+                run_subject_detailed(base, benchmark, subject_share_policy(num, den), budget)
+            }));
+        }
+    }
+
+    let cells = exec::map_indexed(jobs, exec::jobs());
     let rows = benchmarks
         .iter()
-        .map(|&benchmark| {
-            let spec = WorkloadSpec::Spec(benchmark);
-            // The beta=1 target normalizes everything.
-            let t100 = target_ipc(base, spec, Share::FULL, quarter, budget.warmup, budget.window);
-            let t50 = target_ipc(
-                base,
-                spec,
-                Share::new(1, 2).unwrap(),
-                quarter,
-                budget.warmup,
-                budget.window,
-            );
-            let t25 = target_ipc(base, spec, quarter, quarter, budget.warmup, budget.window);
-            let norm = |ipc: f64| if t100 > 0.0 { ipc / t100 } else { 0.0 };
-
-            let (fcfs, fcfs_util) =
-                run_subject_detailed(base, benchmark, ArbiterPolicy::Fcfs, budget);
-            let (vpc25, vpc25_util) =
-                run_subject_detailed(base, benchmark, subject_share_policy(1, 4), budget);
-            let (vpc50, vpc50_util) =
-                run_subject_detailed(base, benchmark, subject_share_policy(1, 2), budget);
-            let (vpc100, vpc100_util) =
-                run_subject_detailed(base, benchmark, subject_share_policy(1, 1), budget);
+        .zip(cells.chunks_exact(CELLS_PER_ROW))
+        .map(|(&benchmark, cell)| {
+            let [t100, t50, t25, fcfs, vpc25, vpc50, vpc100] =
+                <[(f64, f64); CELLS_PER_ROW]>::try_from(cell).expect("7 cells per row");
+            let norm = |ipc: f64| if t100.0 > 0.0 { ipc / t100.0 } else { 0.0 };
             Fig9Row {
                 benchmark,
-                fcfs_norm: norm(fcfs),
-                vpc25_norm: norm(vpc25),
-                vpc50_norm: norm(vpc50),
-                vpc100_norm: norm(vpc100),
-                target25_norm: norm(t25),
-                target50_norm: norm(t50),
-                fcfs_util,
-                vpc25_util,
-                vpc50_util,
-                vpc100_util,
+                fcfs_norm: norm(fcfs.0),
+                vpc25_norm: norm(vpc25.0),
+                vpc50_norm: norm(vpc50.0),
+                vpc100_norm: norm(vpc100.0),
+                target25_norm: norm(t25.0),
+                target50_norm: norm(t50.0),
+                fcfs_util: fcfs.1,
+                vpc25_util: vpc25.1,
+                vpc50_util: vpc50.1,
+                vpc100_util: vpc100.1,
             }
         })
         .collect();

@@ -16,6 +16,9 @@
 //! * [`check`] — the deterministic property-testing microharness every
 //!   crate's randomized tests run on, built on [`SplitMix64`] so the whole
 //!   suite is reproducible offline with zero external dependencies.
+//! * [`exec`] — a scoped thread-pool/job-map layer the experiment runners
+//!   use to spread independent simulations across worker threads while
+//!   keeping output byte-identical to a serial run.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod exec;
 pub mod rng;
 pub mod share;
 pub mod stats;

@@ -10,9 +10,10 @@ export CARGO_NET_OFFLINE=true
 
 echo "== build (release, offline) =="
 cargo build --release
+cargo build --release --bins
 
-echo "== test =="
-cargo test -q
+echo "== test (workspace, including formerly-slow ignored tests) =="
+cargo test -q --workspace -- --include-ignored
 
 echo "== fmt =="
 cargo fmt --all -- --check

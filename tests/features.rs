@@ -105,11 +105,10 @@ fn heterogeneous_cores_compose_with_the_system() {
 }
 
 /// Full-length calibration regression: the 18 SPEC profiles preserve the
-/// paper's Figure 6 ordering and aggregate. Slow (runs every profile at
-/// the standard budget), so ignored by default:
-/// `cargo test --release -- --ignored`.
+/// paper's Figure 6 ordering and aggregate. All 18 standard-budget runs
+/// go through the `exec` job pool, which keeps this fast enough to run
+/// by default.
 #[test]
-#[ignore = "slow: full 18-benchmark calibration check"]
 fn spec_calibration_matches_figure6_shape() {
     use vpc::experiments::{fig6, RunBudget};
     let base = CmpConfig::table1();
