@@ -37,6 +37,38 @@ pub trait Arbiter: fmt::Debug {
     fn reconfigure_share(&mut self, _thread: vpc_sim::ThreadId, _share: vpc_sim::Share) -> bool {
         false
     }
+
+    /// Virtual `(start, finish)` times the most recent [`Arbiter::select`]
+    /// assigned to the request it granted (Eq. 3'/4 of the paper), for
+    /// trace observability.
+    ///
+    /// `None` for arbiters without a virtual clock (FCFS, round-robin,
+    /// DRR) and for excess-bandwidth grants to zero-share threads.
+    /// Read-only: querying it never changes arbitration state.
+    fn last_grant_virtual(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// The threads still holding pending requests, each with its current
+    /// virtual start time `R.S_i` where the policy tracks one, for trace
+    /// observability (the "deferred" side of a grant). Read-only.
+    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
+        Vec::new()
+    }
+}
+
+/// Distinct threads present in `queues`, in first-occurrence order, with
+/// no virtual time (shared by the FIFO-family arbiters' backlog reports).
+fn fifo_backlog<'a>(
+    queues: impl Iterator<Item = &'a ArbRequest>,
+) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
+    let mut out: Vec<(vpc_sim::ThreadId, Option<u64>)> = Vec::new();
+    for req in queues {
+        if !out.iter().any(|(t, _)| *t == req.thread) {
+            out.push((req.thread, None));
+        }
+    }
+    out
 }
 
 /// First-come first-serve: grants the oldest pending request regardless of
@@ -69,6 +101,10 @@ impl Arbiter for FcfsArbiter {
 
     fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
+        fifo_backlog(self.queue.iter())
     }
 }
 
@@ -107,6 +143,10 @@ impl Arbiter for RowFcfsArbiter {
 
     fn len(&self) -> usize {
         self.reads.len() + self.writes.len()
+    }
+
+    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
+        fifo_backlog(self.reads.iter().chain(self.writes.iter()))
     }
 }
 
@@ -162,6 +202,15 @@ impl Arbiter for RoundRobinArbiter {
 
     fn len(&self) -> usize {
         self.pending
+    }
+
+    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(t, _)| (vpc_sim::ThreadId(t as u8), None))
+            .collect()
     }
 }
 

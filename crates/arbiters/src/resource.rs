@@ -1,5 +1,6 @@
 //! A shared resource guarded by an arbiter.
 
+use vpc_sim::trace::{self, EventData, ResourceId, TraceEvent};
 use vpc_sim::{Cycle, ThreadId, UtilizationMeter, MAX_THREADS};
 
 use crate::arbiter::Arbiter;
@@ -32,6 +33,7 @@ pub struct ArbitratedResource {
     meter: UtilizationMeter,
     per_thread_busy: [u64; MAX_THREADS],
     grants: u64,
+    trace_id: Option<ResourceId>,
 }
 
 impl ArbitratedResource {
@@ -43,7 +45,17 @@ impl ArbitratedResource {
             meter: UtilizationMeter::default(),
             per_thread_busy: [0; MAX_THREADS],
             grants: 0,
+            trace_id: None,
         }
+    }
+
+    /// Names this resource for [`vpc_sim::trace`] observability: with an id
+    /// set and a recorder installed, every grant emits a
+    /// [`EventData::Grant`] (with the arbiter's virtual start/finish times)
+    /// plus one [`EventData::Defer`] per thread left backlogged. Pure
+    /// instrumentation — arbitration behavior is unchanged.
+    pub fn set_trace_id(&mut self, id: ResourceId) {
+        self.trace_id = Some(id);
     }
 
     /// Enters `req` into arbitration at `now`.
@@ -69,6 +81,28 @@ impl ArbitratedResource {
         self.meter.add_busy(req.service_time);
         self.per_thread_busy[req.thread.index()] += req.service_time;
         self.grants += 1;
+        if let Some(resource) = self.trace_id {
+            if trace::is_enabled() {
+                let virt = self.arbiter.last_grant_virtual();
+                trace::emit(|| TraceEvent {
+                    at: now,
+                    data: EventData::Grant {
+                        resource,
+                        thread: req.thread,
+                        kind: req.kind,
+                        service: req.service_time,
+                        virtual_start: virt.map(|(s, _)| s),
+                        virtual_finish: virt.map(|(_, f)| f),
+                    },
+                });
+                for (thread, virtual_start) in self.arbiter.backlogged_threads() {
+                    trace::emit(|| TraceEvent {
+                        at: now,
+                        data: EventData::Defer { resource, thread, virtual_start },
+                    });
+                }
+            }
+        }
         Some(req)
     }
 

@@ -32,6 +32,9 @@ pub struct SfqArbiter {
     /// System virtual time: the start tag of the last granted request.
     v: u64,
     pending: usize,
+    /// Virtual `(start, finish)` of the most recent guaranteed grant, for
+    /// trace observability.
+    last_virtual: Option<(u64, u64)>,
 }
 
 impl SfqArbiter {
@@ -48,6 +51,7 @@ impl SfqArbiter {
                 .collect(),
             v: 0,
             pending: 0,
+            last_virtual: None,
         }
     }
 
@@ -112,6 +116,7 @@ impl Arbiter for SfqArbiter {
             self.v = start; // system virtual time = start tag in service
             self.threads[t].finish = start + virt;
             self.pending -= 1;
+            self.last_virtual = Some((start, start + virt));
             return Some(req);
         }
         // Zero-share threads: oldest first.
@@ -119,6 +124,7 @@ impl Arbiter for SfqArbiter {
             .filter(|&t| !self.threads[t].queue.is_empty())
             .min_by_key(|&t| self.threads[t].queue.front().expect("non-empty").arrival)?;
         self.pending -= 1;
+        self.last_virtual = None;
         self.threads[t].queue.pop_front()
     }
 
@@ -129,6 +135,22 @@ impl Arbiter for SfqArbiter {
     fn reconfigure_share(&mut self, thread: ThreadId, share: Share) -> bool {
         self.set_share(thread, share);
         true
+    }
+
+    fn last_grant_virtual(&self) -> Option<(u64, u64)> {
+        self.last_virtual
+    }
+
+    fn backlogged_threads(&self) -> Vec<(ThreadId, Option<u64>)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.queue.is_empty())
+            .map(|(t, s)| {
+                let start = if s.share.is_zero() { None } else { Some(s.finish) };
+                (ThreadId(t as u8), start)
+            })
+            .collect()
     }
 }
 

@@ -71,6 +71,9 @@ pub struct VpcArbiter {
     pending: usize,
     /// Virtual finish time of the most recent grant, for analysis/tests.
     last_deadline: Option<u64>,
+    /// Virtual `(start, finish)` of the most recent guaranteed grant, for
+    /// trace observability.
+    last_virtual: Option<(u64, u64)>,
 }
 
 impl VpcArbiter {
@@ -87,6 +90,7 @@ impl VpcArbiter {
             order,
             pending: 0,
             last_deadline: None,
+            last_virtual: None,
         }
     }
 
@@ -173,10 +177,12 @@ impl Arbiter for VpcArbiter {
             }
         }
         if let Some((finish, _arrival, t, pos)) = best {
+            let start = self.threads[t].r_s; // Eq. 3': S_i^k = R.S_i
             let req = self.threads[t].buffer.remove(pos).expect("candidate position valid");
             self.threads[t].r_s = finish; // Eq. 5
             self.pending -= 1;
             self.last_deadline = Some(finish);
+            self.last_virtual = Some((start, finish));
             return Some(req);
         }
 
@@ -199,6 +205,7 @@ impl Arbiter for VpcArbiter {
         let _ = now;
         self.pending -= 1;
         self.last_deadline = None;
+        self.last_virtual = None;
         Some(req)
     }
 
@@ -209,6 +216,19 @@ impl Arbiter for VpcArbiter {
     fn reconfigure_share(&mut self, thread: ThreadId, share: Share) -> bool {
         self.set_share(thread, share);
         true
+    }
+
+    fn last_grant_virtual(&self) -> Option<(u64, u64)> {
+        self.last_virtual
+    }
+
+    fn backlogged_threads(&self) -> Vec<(ThreadId, Option<u64>)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.buffer.is_empty())
+            .map(|(t, s)| (ThreadId(t as u8), Some(s.r_s)))
+            .collect()
     }
 }
 

@@ -9,6 +9,7 @@ use vpc::prelude::*;
 fn main() {
     let budget = vpc_bench::budget_from_args();
     let jobs = vpc_bench::jobs_from_args();
+    let trace_path = vpc_bench::trace_from_args();
     vpc_bench::header("Ablations", budget);
     let base = CmpConfig::table1();
     let start = Instant::now();
@@ -21,4 +22,7 @@ fn main() {
     println!("{}", ablations::scaling(&base, budget));
     println!("{}", ablations::work_conservation(&base, budget));
     vpc_bench::report_timings("ablations", jobs, start.elapsed());
+    if let Some(path) = &trace_path {
+        vpc_bench::write_job_traces(path);
+    }
 }

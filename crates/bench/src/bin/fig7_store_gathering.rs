@@ -9,6 +9,7 @@ use vpc::report::{to_json, Fig7Report};
 fn main() {
     let budget = vpc_bench::budget_from_args();
     let jobs = vpc_bench::jobs_from_args();
+    let trace_path = vpc_bench::trace_from_args();
     let start = Instant::now();
     let result = fig7::run(&CmpConfig::table1(), budget);
     let wall = start.elapsed();
@@ -19,4 +20,7 @@ fn main() {
         println!("{result}");
     }
     vpc_bench::report_timings("fig7", jobs, wall);
+    if let Some(path) = &trace_path {
+        vpc_bench::write_job_traces(path);
+    }
 }

@@ -10,6 +10,7 @@ use vpc_workloads::SPEC_NAMES;
 fn main() {
     let budget = vpc_bench::budget_from_args();
     let jobs = vpc_bench::jobs_from_args();
+    let trace_path = vpc_bench::trace_from_args();
     let start = Instant::now();
     let result = fig9::run(&CmpConfig::table1(), &SPEC_NAMES, budget);
     let wall = start.elapsed();
@@ -20,4 +21,7 @@ fn main() {
         println!("{result}");
     }
     vpc_bench::report_timings("fig9", jobs, wall);
+    if let Some(path) = &trace_path {
+        vpc_bench::write_job_traces(path);
+    }
 }

@@ -13,11 +13,14 @@
 //! Arbiters: `fcfs`, `row`, `rr`, `vpc`, `drr`, `sfq`.
 //! Channels: `private` (default), `shared-fcfs`, `shared-fq`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use vpc::experiments::fig5;
+use vpc::metrics::QosLedger;
 use vpc::prelude::*;
 use vpc_mem::ChannelMode;
-use vpc_sim::exec;
+use vpc_sim::{exec, trace};
 use vpc_workloads::SPEC_NAMES;
 
 #[derive(Debug)]
@@ -31,6 +34,8 @@ struct Args {
     channels: String,
     lru_capacity: bool,
     jobs: Option<usize>,
+    trace: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadSpec, String> {
@@ -62,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         channels: "private".into(),
         lru_capacity: false,
         jobs: None,
+        trace: None,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,12 +105,19 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.jobs = Some(n);
             }
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => {
                 println!(
                     "usage: simulate [--workloads a,b,c,d] [--arbiter fcfs|row|rr|vpc|drr|sfq]\n\
                      \x20               [--shares p/q,...] [--banks N] [--warmup N] [--cycles N]\n\
                      \x20               [--channels private|shared-fcfs|shared-fq] [--lru-capacity]\n\
-                     \x20               [--jobs N]"
+                     \x20               [--jobs N] [--trace out.json] [--metrics]\n\
+                     \n\
+                     --trace writes a Chrome trace_event JSON of the measured window\n\
+                     (open in chrome://tracing or Perfetto); --metrics prints the\n\
+                     per-thread QoS ledger and L2 latency percentiles to stderr.\n\
+                     Neither flag changes stdout."
                 );
                 std::process::exit(0);
             }
@@ -160,9 +174,22 @@ fn run() -> Result<(), String> {
     let base = CmpConfig::table1_with_threads(threads).with_banks(args.banks);
     let mut sys = CmpSystem::new(cfg, &args.workloads);
     sys.run(args.warmup);
+    if args.trace.is_some() {
+        // The simulation runs on this thread, so the thread-local
+        // recorder sees the whole measured window.
+        trace::install(trace::DEFAULT_CAPACITY);
+    }
     let snap = sys.snapshot();
-    sys.run(args.cycles);
+    let mut ledger = args.metrics.then(|| {
+        let entitlements = args.shares.iter().map(|&s| (s, s)).collect();
+        QosLedger::new(entitlements, fig5::QOS_WINDOW, fig5::QOS_SLACK)
+    });
+    match &mut ledger {
+        Some(ledger) => sys.run_with_ledger(args.cycles, ledger),
+        None => sys.run(args.cycles),
+    }
     let m = sys.measure(&snap);
+    let trace_log = if args.trace.is_some() { trace::take() } else { None };
 
     println!(
         "== simulate: {} threads, {} banks, arbiter {}, channels {} ==",
@@ -198,6 +225,32 @@ fn run() -> Result<(), String> {
         m.util.data_bus * 100.0,
         m.util.tag_array * 100.0
     );
+
+    if let Some(path) = &args.trace {
+        let log = trace_log.expect("recorder installed before the measured window");
+        let doc = vpc::trace::chrome_trace("simulate", &log);
+        vpc::trace::write_chrome_trace(path, &doc)
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+        eprintln!(
+            "-- wrote {} ({} events, {} dropped) --",
+            path.display(),
+            log.events().len(),
+            log.dropped(),
+        );
+    }
+    if let Some(ledger) = &ledger {
+        eprint!("{ledger}");
+        for (i, w) in args.workloads.iter().enumerate() {
+            let hist = sys.l2().read_latency(ThreadId(i as u8));
+            eprintln!(
+                "  {} L2 read latency p50/p90/p99: {}/{}/{} cycles",
+                w.name(),
+                hist.p50(),
+                hist.p90(),
+                hist.p99(),
+            );
+        }
+    }
     Ok(())
 }
 

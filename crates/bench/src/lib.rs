@@ -6,11 +6,15 @@
 //! Reproduction notes for each experiment live in `EXPERIMENTS.md` at the
 //! repository root.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use vpc::experiments::RunBudget;
 use vpc::report::TimingReport;
-use vpc_sim::exec;
+use vpc_sim::{exec, trace};
 
 pub mod harness;
 
@@ -76,6 +80,89 @@ pub fn report_timings(what: &str, jobs: usize, wall: Duration) {
 /// Whether `--json` was passed (machine-readable output).
 pub fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
+}
+
+/// Whether `--metrics` was passed (QoS ledger / histogram summaries on
+/// **stderr** — stdout stays byte-identical with or without the flag).
+pub fn metrics_requested() -> bool {
+    std::env::args().any(|a| a == "--metrics")
+}
+
+/// Parses `--trace <path>` / `--trace=path` and, when present, turns on
+/// per-job trace capture in the [`vpc_sim::exec`] pool (ring capacity
+/// [`trace::DEFAULT_CAPACITY`] per job). Exits with an error on a missing
+/// path — silently not tracing would defeat the point of the flag.
+pub fn trace_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut path = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = if let Some(v) = args[i].strip_prefix("--trace=") {
+            Some(v.to_string())
+        } else if args[i] == "--trace" {
+            i += 1;
+            args.get(i).cloned()
+        } else {
+            i += 1;
+            continue;
+        };
+        match value {
+            Some(v) if !v.is_empty() => path = Some(PathBuf::from(v)),
+            _ => {
+                eprintln!("error: --trace needs an output path");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if path.is_some() {
+        trace::set_capture(Some(trace::DEFAULT_CAPACITY));
+    }
+    path
+}
+
+/// Sanitizes a job label into a filename fragment (`fig5/Loads 2B` →
+/// `fig5-Loads-2B`).
+pub fn label_slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '-' })
+        .collect()
+}
+
+/// Derives the per-job trace path `out.<slug>.json` from the main
+/// `--trace` path `out.json`.
+pub fn job_trace_path(base: &Path, label: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    base.with_file_name(format!("{stem}.{}.json", label_slug(label)))
+}
+
+/// Drains the per-job trace logs behind the run just finished, writes the
+/// merged Chrome trace to `base` (one process lane per job) and one file
+/// per job next to it, and reports what was written to **stderr**.
+pub fn write_job_traces(base: &Path) {
+    let jobs = trace::take_job_logs();
+    if jobs.is_empty() {
+        eprintln!("-- no trace events captured; nothing written to {} --", base.display());
+        return;
+    }
+    let write = |path: &Path, doc: &vpc::json::JsonValue| {
+        if let Err(err) = vpc::trace::write_chrome_trace(path, doc) {
+            eprintln!("error: cannot write trace {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    };
+    write(base, &vpc::trace::chrome_trace_jobs(&jobs));
+    for (label, log) in &jobs {
+        write(&job_trace_path(base, label), &vpc::trace::chrome_trace(label, log));
+    }
+    eprintln!(
+        "-- wrote {} ({} jobs, {} events, {} dropped) + per-job traces --",
+        base.display(),
+        jobs.len(),
+        jobs.iter().map(|(_, l)| l.events().len()).sum::<usize>(),
+        jobs.iter().map(|(_, l)| l.dropped()).sum::<u64>(),
+    );
 }
 
 /// Prints a standard experiment header.

@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use vpc_arbiters::{ArbRequest, ArbitratedResource};
 use vpc_capacity::{ReplacementPolicy, TagSet, TrueLru, VpcCapacityManager};
 use vpc_mem::MemRequest;
+use vpc_sim::trace::{self, EventData, TraceEvent};
 use vpc_sim::{AccessKind, CacheRequest, CacheResponse, Counter, Cycle, LineAddr, ThreadId};
 
 use crate::config::{CapacityPolicy, L2Config};
@@ -144,9 +145,21 @@ impl L2Bank {
             sms: vec![None; cfg.threads * cfg.sm_per_thread],
             castout_lines: vec![None; cfg.threads * cfg.sm_per_thread],
             sm_used: vec![0; cfg.threads],
-            tag: ArbitratedResource::new(cfg.resource_arbiters().0.build(cfg.threads)),
-            data: ArbitratedResource::new(cfg.resource_arbiters().1.build(cfg.threads)),
-            bus: ArbitratedResource::new(cfg.resource_arbiters().2.build(cfg.threads)),
+            tag: {
+                let mut r = ArbitratedResource::new(cfg.resource_arbiters().0.build(cfg.threads));
+                r.set_trace_id(trace::ResourceId::tag_array(bank_idx as u16));
+                r
+            },
+            data: {
+                let mut r = ArbitratedResource::new(cfg.resource_arbiters().1.build(cfg.threads));
+                r.set_trace_id(trace::ResourceId::data_array(bank_idx as u16));
+                r
+            },
+            bus: {
+                let mut r = ArbitratedResource::new(cfg.resource_arbiters().2.build(cfg.threads));
+                r.set_trace_id(trace::ResourceId::data_bus(bank_idx as u16));
+                r
+            },
             rr_next: 0,
             events: Vec::new(),
             mem_out: VecDeque::new(),
@@ -409,6 +422,17 @@ impl L2Bank {
 
     fn finish_tag_lookup(&mut self, sm_idx: usize, sm: Sm, now: Cycle) {
         let set = self.cfg.set_of(sm.line);
+        let hit = self.sets[set].lookup(sm.line).is_some();
+        trace::emit(|| TraceEvent {
+            at: now,
+            data: EventData::BankAccess {
+                bank: self.bank_idx as u16,
+                thread: sm.thread,
+                line: sm.line,
+                kind: sm.kind,
+                hit,
+            },
+        });
         if let Some(way) = self.sets[set].lookup(sm.line) {
             // Hit.
             self.sets[set].touch(way, now);
@@ -438,6 +462,18 @@ impl L2Bank {
         }
         let way = self.sets[set].find_way_for(sm.line, sm.thread, self.policy.as_ref());
         let evicted = self.sets[set].fill(way, sm.line, sm.thread, now);
+        if let Some(ev) = &evicted {
+            trace::emit(|| TraceEvent {
+                at: now,
+                data: EventData::Evict {
+                    bank: self.bank_idx as u16,
+                    thread: sm.thread,
+                    line: ev.line,
+                    victim: ev.owner,
+                    dirty: ev.dirty,
+                },
+            });
+        }
         match evicted {
             Some(ev) if ev.dirty => {
                 // Castout: read the dirty victim out of the data array.

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use vpc_sim::trace::{self, EventData, TraceEvent};
 use vpc_sim::{CacheRequest, Counter, Cycle, LineAddr};
 
 /// One gathered store entry.
@@ -136,6 +137,10 @@ impl ThreadPort {
                 self.stats.stores_in.inc();
                 self.stats.stores_gathered.inc();
                 self.last_store_activity = now;
+                trace::emit(|| TraceEvent {
+                    at: now,
+                    data: EventData::SgbGather { thread: self.thread, line: req.line },
+                });
                 self.in_q.pop_front();
             } else if self.sgb.len() < self.capacity {
                 self.stats.stores_in.inc();
@@ -209,6 +214,14 @@ impl ThreadPort {
             assert_eq!(e.line, candidate.request.line, "retired store mismatch");
             self.stats.writes_out.inc();
             self.last_store_activity = now;
+            trace::emit(|| TraceEvent {
+                at: now,
+                data: EventData::SgbDrain {
+                    thread: self.thread,
+                    line: e.line,
+                    occupancy: self.sgb.len() as u16,
+                },
+            });
         } else {
             let l = self.loads.pop_front().expect("load candidate exists");
             assert_eq!(l.line, candidate.request.line, "load candidate mismatch");

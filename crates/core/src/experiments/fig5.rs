@@ -10,9 +10,12 @@ use std::fmt;
 
 use crate::config::{CmpConfig, WorkloadSpec};
 use crate::experiments::{bar, pct, RunBudget};
+use crate::metrics::QosLedger;
 use crate::system::CmpSystem;
+use vpc_arbiters::ArbiterPolicy;
 use vpc_cache::L2Utilization;
 use vpc_sim::exec::{self, Job};
+use vpc_sim::{trace, Share};
 
 /// One bar group of Figure 5.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +84,55 @@ pub fn run(base: &CmpConfig, budget: RunBudget) -> Fig5Result {
     Fig5Result { rows: exec::map_indexed(jobs, exec::jobs()) }
 }
 
+/// Workloads of the 4-thread contention variant of the fig5
+/// microbenchmarks: one Loads stream against three Stores streams on the
+/// shared two-bank L2. Writes occupy the data array twice as long as
+/// reads, so a share-oblivious arbiter lets the store threads over-serve
+/// — which is what the trace and the QoS ledger make visible.
+pub fn contention_workloads() -> [WorkloadSpec; 4] {
+    [WorkloadSpec::Loads, WorkloadSpec::Stores, WorkloadSpec::Stores, WorkloadSpec::Stores]
+}
+
+/// Accounting window (cycles) used by [`qos_ledger`].
+pub const QOS_WINDOW: u64 = 4096;
+
+/// Per-window tolerance (data-array cycles) used by [`qos_ledger`]: a
+/// handful of maximum-service (write) quanta, absorbing the indivisible-
+/// grant quantization an EDF schedule can overshoot an entitlement by.
+pub const QOS_SLACK: u64 = 128;
+
+/// Records a cycle-level trace of the contention scenario under VPC
+/// arbiters with equal shares: warm up untraced, then record `capacity`
+/// events of the steady state (later events only bump the drop counter).
+///
+/// Installs the calling thread's [`vpc_sim::trace`] recorder; any
+/// recorder previously installed on this thread is discarded.
+pub fn trace_scenario(base: &CmpConfig, budget: RunBudget, capacity: usize) -> trace::TraceLog {
+    let beta = Share::new(1, 4).expect("1/4 is a valid share");
+    let cfg = base.clone().with_vpc_shares(vec![beta; 4]);
+    let mut sys = CmpSystem::new(cfg, &contention_workloads());
+    sys.run(budget.warmup);
+    trace::install(capacity);
+    sys.run(budget.window);
+    trace::take().expect("recorder installed above")
+}
+
+/// Runs the contention scenario under `arbiter` and returns the filled
+/// [`QosLedger`] (equal `1/4` entitlements, [`QOS_WINDOW`]-cycle windows,
+/// [`QOS_SLACK`] tolerance). With [`ArbiterPolicy::vpc_equal`] every
+/// thread's sustained excess is zero; under [`ArbiterPolicy::Fcfs`] the
+/// store threads run up nonzero excess at the Loads thread's expense.
+pub fn qos_ledger(base: &CmpConfig, arbiter: ArbiterPolicy, budget: RunBudget) -> QosLedger {
+    let beta = Share::new(1, 4).expect("1/4 is a valid share");
+    let mut cfg = base.clone();
+    cfg.l2.arbiter = arbiter;
+    let mut sys = CmpSystem::new(cfg, &contention_workloads());
+    sys.run(budget.warmup);
+    let mut ledger = QosLedger::new(vec![(beta, beta); 4], QOS_WINDOW, QOS_SLACK);
+    sys.run_with_ledger(budget.window, &mut ledger);
+    ledger
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +159,84 @@ mod tests {
         // Stores: no bus traffic (writes return nothing).
         let s2 = r.row("Stores", 2).unwrap();
         assert!(s2.util.data_bus < 0.1, "stores use no return bus: {:?}", s2.util);
+    }
+
+    fn test_base() -> CmpConfig {
+        let mut base = CmpConfig::table1();
+        base.l2.total_sets = 2048;
+        base
+    }
+
+    #[test]
+    fn qos_ledger_separates_vpc_from_fcfs() {
+        let base = test_base();
+        let vpc = qos_ledger(&base, ArbiterPolicy::vpc_equal(4), RunBudget::quick());
+        let fcfs = qos_ledger(&base, ArbiterPolicy::Fcfs, RunBudget::quick());
+        for t in 0..4 {
+            assert!(
+                !vpc.has_sustained_excess(t),
+                "VPC lets T{t} over-serve: excess {} over {} windows\n{vpc}",
+                vpc.excess_service(t),
+                vpc.excess_windows(t),
+            );
+        }
+        assert!(
+            (0..4).any(|t| fcfs.has_sustained_excess(t)),
+            "FCFS should let some thread over-serve\n{fcfs}"
+        );
+        // The over-serving comes at the Loads thread's expense: it falls
+        // behind its virtual private resource under FCFS.
+        assert!(
+            fcfs.virtual_lag(0) > vpc.virtual_lag(0),
+            "FCFS lag {} vs VPC lag {}",
+            fcfs.virtual_lag(0),
+            vpc.virtual_lag(0),
+        );
+    }
+
+    #[test]
+    fn trace_scenario_emits_grants_with_virtual_times_for_all_threads() {
+        let log = trace_scenario(&test_base(), RunBudget::quick(), 4096);
+        let mut granted = [false; 4];
+        let mut deferred = [false; 4];
+        for event in log.events() {
+            match event.data {
+                vpc_sim::trace::EventData::Grant {
+                    thread,
+                    virtual_start: Some(s),
+                    virtual_finish: Some(f),
+                    ..
+                } => {
+                    assert!(s < f, "virtual start {s} precedes finish {f}");
+                    granted[thread.index()] = true;
+                }
+                vpc_sim::trace::EventData::Defer { thread, .. } => {
+                    deferred[thread.index()] = true;
+                }
+                _ => {}
+            }
+        }
+        for t in 0..4 {
+            assert!(granted[t], "no guaranteed grant recorded for T{t}");
+            assert!(deferred[t], "no defer recorded for T{t}");
+        }
+        assert!(log.dropped() > 0, "quick window should overflow a 4096-event ring");
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_measurement() {
+        let run = |traced: bool| {
+            let cfg = test_base().with_vpc_shares(vec![Share::new(1, 4).unwrap(); 4]);
+            let mut sys = CmpSystem::new(cfg, &contention_workloads());
+            if traced {
+                trace::install(1024);
+            }
+            let m = sys.run_measured(5_000, 10_000);
+            if traced {
+                trace::take();
+            }
+            format!("{m:?}")
+        };
+        assert_eq!(run(false), run(true), "tracing changed simulated behavior");
     }
 }

@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod report;
 pub mod system;
 pub mod target;
+pub mod trace;
 pub mod vpm;
 
 pub use config::{CmpConfig, WorkloadSpec};

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use vpc_cache::{L1Cache, L1Config, L1LoadResult, SharedL2};
+use vpc_sim::trace::{self, EventData, TraceEvent};
 use vpc_sim::{AccessKind, CacheRequest, Counter, Cycle, LineAddr, ThreadId};
 
 use crate::workload::{Op, Workload};
@@ -169,6 +170,10 @@ impl Core {
     /// Delivers an L2 read response (critical word) for `line`: fills the
     /// L1 and wakes every load waiting on the line.
     pub fn on_l2_response(&mut self, line: LineAddr, now: Cycle) {
+        trace::emit(|| TraceEvent {
+            at: now,
+            data: EventData::LoadReturn { thread: self.thread, line },
+        });
         for token in self.l1.on_fill(line, now) {
             if token == PREFETCH_TOKEN {
                 continue; // prefetch fill: no waiting instruction

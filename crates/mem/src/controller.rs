@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use vpc_sim::trace::{self, EventData, ResourceId, TraceEvent};
 use vpc_sim::{AccessKind, Cycle, LineAddr, Share, ThreadId};
 
 use crate::channel::DramChannel;
@@ -200,6 +201,15 @@ impl MemoryController {
     fn issue_on(&mut self, channel_idx: usize, req: MemRequest, now: Cycle) {
         self.pop_candidate(req.thread.index(), req.kind);
         self.channels[channel_idx].issue(req.line, req.kind, req.token, now);
+        trace::emit(|| TraceEvent {
+            at: now,
+            data: EventData::DramIssue {
+                channel: channel_idx as u16,
+                thread: req.thread,
+                line: req.line,
+                kind: req.kind,
+            },
+        });
         if req.kind.is_read() {
             self.pending_reads.push((req.token, req.thread, req.line));
         }
@@ -253,6 +263,24 @@ impl MemoryController {
         };
         let (_, req) = candidates[winner];
         self.issue_on(0, req, now);
+        // Observability: the losing candidates were deferred this slot; a
+        // fair-queued channel also reports their virtual start times.
+        if trace::is_enabled() {
+            for (i, (_, loser)) in candidates.iter().enumerate() {
+                if i == winner {
+                    continue;
+                }
+                let virtual_start = self.fq.as_ref().map(|fq| fq.virtual_start(loser.thread));
+                trace::emit(|| TraceEvent {
+                    at: now,
+                    data: EventData::Defer {
+                        resource: ResourceId::dram_channel(0),
+                        thread: loser.thread,
+                        virtual_start,
+                    },
+                });
+            }
+        }
     }
 
     /// Reconfigures `thread`'s share of a shared fair-queued channel.

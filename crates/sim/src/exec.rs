@@ -39,6 +39,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::trace::{self, TraceLog};
+
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "VPC_JOBS";
 
@@ -111,15 +113,27 @@ pub fn take_timings() -> Vec<JobTiming> {
 }
 
 /// What one finished job leaves behind: its label, its result (or the
-/// caught panic payload), and its wall-clock cost.
-type Outcome<T> = (String, std::thread::Result<T>, Duration);
+/// caught panic payload), its wall-clock cost, and — when per-job trace
+/// capture is on — the events it recorded.
+type Outcome<T> = (String, std::thread::Result<T>, Duration, Option<TraceLog>);
 
 /// Runs one job, catching panics so a worker thread never unwinds.
+///
+/// When [`trace::set_capture`] requested per-job capture, the job runs
+/// with a fresh thread-local recorder (each job runs entirely on one
+/// thread, so its events cannot interleave with another job's) and the
+/// resulting log travels back with the outcome.
 fn run_one<T>(job: Job<'_, T>) -> Outcome<T> {
     let Job { label, run } = job;
+    let capture = trace::capture_capacity();
+    if let Some(capacity) = capture {
+        trace::install(capacity);
+    }
     let start = Instant::now();
     let result = panic::catch_unwind(AssertUnwindSafe(run));
-    (label, result, start.elapsed())
+    let elapsed = start.elapsed();
+    let log = if capture.is_some() { trace::take() } else { None };
+    (label, result, elapsed, log)
 }
 
 /// Renders a caught panic payload for the re-thrown message.
@@ -178,11 +192,15 @@ pub fn map_indexed<T: Send>(jobs: Vec<Job<'_, T>>, parallelism: usize) -> Vec<T>
     };
 
     let mut timings = Vec::with_capacity(n);
+    let mut job_logs = Vec::new();
     let mut out = Vec::with_capacity(n);
     let mut failure: Option<(String, String)> = None;
     for outcome in outcomes.iter_mut() {
-        let (label, result, elapsed) = outcome.take().expect("job never ran");
+        let (label, result, elapsed, log) = outcome.take().expect("job never ran");
         timings.push(JobTiming { label: label.clone(), elapsed });
+        if let Some(log) = log {
+            job_logs.push((label.clone(), log));
+        }
         match result {
             Ok(value) => out.push(value),
             Err(payload) => {
@@ -193,6 +211,7 @@ pub fn map_indexed<T: Send>(jobs: Vec<Job<'_, T>>, parallelism: usize) -> Vec<T>
         }
     }
     TIMINGS.lock().expect("timing sink poisoned").extend(timings);
+    trace::push_job_logs(job_logs);
     if let Some((label, message)) = failure {
         panic!("job '{label}' panicked: {message}");
     }

@@ -19,6 +19,10 @@
 //! * [`exec`] — a scoped thread-pool/job-map layer the experiment runners
 //!   use to spread independent simulations across worker threads while
 //!   keeping output byte-identical to a serial run.
+//! * [`trace`] — a bounded, thread-local cycle-level event recorder
+//!   (arbiter grants/defers with virtual times, bank hits/misses/evicts,
+//!   SGB gathers/drains, DRAM issues) that never perturbs simulated state
+//!   and composes with per-job capture in [`exec`].
 //!
 //! # Examples
 //!
@@ -44,6 +48,7 @@ pub mod exec;
 pub mod rng;
 pub mod share;
 pub mod stats;
+pub mod trace;
 pub mod types;
 
 pub use rng::SplitMix64;

@@ -177,6 +177,21 @@ impl Histogram {
         self.max
     }
 
+    /// Median sample bound — shorthand for `percentile(0.5)`.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.5)
+    }
+
+    /// 90th-percentile sample bound — shorthand for `percentile(0.9)`.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.9)
+    }
+
+    /// 99th-percentile sample bound — shorthand for `percentile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

@@ -19,6 +19,7 @@
 //! B 4
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -30,17 +31,45 @@ use vpc_sim::LineAddr;
 pub struct ParseTraceError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// 1-based column of the offending token (0 when the error concerns
+    /// the document as a whole, e.g. an empty trace).
+    pub column: usize,
     /// What was wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseTraceError {}
+
+/// Splits the comment-stripped content of one line into whitespace-
+/// separated tokens, each tagged with its 1-based byte column in the
+/// original line (comments never precede tokens, so columns agree).
+fn tokenize(content: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, ch) in content.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s + 1, &content[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s + 1, &content[s..]));
+    }
+    out
+}
 
 fn parse_line_addr(s: &str) -> Result<LineAddr, String> {
     let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -53,26 +82,62 @@ fn parse_line_addr(s: &str) -> Result<LineAddr, String> {
 
 /// Parses the trace text format into a vector of operations.
 ///
+/// Repeated line addresses are accepted: a replay trace legitimately
+/// revisits its hot lines (and [`TraceWorkload`] loops the whole trace
+/// anyway). Use [`parse_trace_strict`] for footprint-shaped traces where
+/// every address must be distinct.
+///
 /// # Errors
 ///
-/// Returns [`ParseTraceError`] on the first malformed line.
+/// Returns [`ParseTraceError`] (with line and column context) on the
+/// first malformed line.
 pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
+    parse_trace_impl(text, false)
+}
+
+/// Like [`parse_trace`], but additionally rejects a load or store whose
+/// line address was already used by an earlier memory op — the right
+/// contract for traces that *define a working set* (one op per line
+/// address), where a silent duplicate means the generator is broken.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on the first malformed line or duplicate
+/// address; the duplicate message names the line that first used it.
+pub fn parse_trace_strict(text: &str) -> Result<Vec<Op>, ParseTraceError> {
+    parse_trace_impl(text, true)
+}
+
+fn parse_trace_impl(text: &str, strict: bool) -> Result<Vec<Op>, ParseTraceError> {
     let mut ops = Vec::new();
+    let mut first_use: HashMap<u64, usize> = HashMap::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let content = raw.split('#').next().unwrap_or("");
+        let tokens = tokenize(content);
+        let Some(&(tag_col, tag)) = tokens.first() else {
             continue;
-        }
-        let mut parts = line.split_whitespace();
-        let tag = parts.next().expect("non-empty line has a first token");
-        let err = |message: String| ParseTraceError { line: line_no, message };
+        };
+        let err =
+            |column: usize, message: String| ParseTraceError { line: line_no, column, message };
+        let mut rest = tokens[1..].iter().copied();
         let op = match tag {
             "N" => Op::NonMem,
             "L" | "S" => {
+                let (col, addr) = rest
+                    .next()
+                    .ok_or_else(|| err(tag_col, format!("'{tag}' needs a line address")))?;
                 let addr =
-                    parts.next().ok_or_else(|| err(format!("'{tag}' needs a line address")))?;
-                let addr = parse_line_addr(addr).map_err(|e| err(format!("bad address: {e}")))?;
+                    parse_line_addr(addr).map_err(|e| err(col, format!("bad address: {e}")))?;
+                if strict {
+                    if let Some(&first) = first_use.get(&addr.0) {
+                        return Err(err(
+                            col,
+                            format!("duplicate address {:#x} (first used at line {first})", addr.0),
+                        ));
+                    }
+                    first_use.insert(addr.0, line_no);
+                }
                 if tag == "L" {
                     Op::Load(addr)
                 } else {
@@ -80,14 +145,15 @@ pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
                 }
             }
             "B" => {
-                let n = parts.next().ok_or_else(|| err("'B' needs a cycle count".into()))?;
-                let n: u8 = n.parse().map_err(|e| err(format!("bad bubble count: {e}")))?;
+                let (col, n) =
+                    rest.next().ok_or_else(|| err(tag_col, "'B' needs a cycle count".into()))?;
+                let n: u8 = n.parse().map_err(|e| err(col, format!("bad bubble count: {e}")))?;
                 Op::Bubble(n)
             }
-            other => return Err(err(format!("unknown op tag {other:?}"))),
+            other => return Err(err(tag_col, format!("unknown op tag {other:?}"))),
         };
-        if let Some(junk) = parts.next() {
-            return Err(err(format!("trailing token {junk:?}")));
+        if let Some((col, junk)) = rest.next() {
+            return Err(err(col, format!("trailing token {junk:?}")));
         }
         ops.push(op);
     }
@@ -153,6 +219,7 @@ impl FromStr for TraceWorkload {
         if ops.is_empty() {
             return Err(ParseTraceError {
                 line: 0,
+                column: 0,
                 message: "trace contains no operations".into(),
             });
         }
@@ -205,6 +272,37 @@ mod tests {
     fn inline_comments_are_stripped() {
         let ops = parse_trace("L 7 # the hot line\n").unwrap();
         assert_eq!(ops, vec![Op::Load(LineAddr(7))]);
+    }
+
+    #[test]
+    fn errors_carry_column_context() {
+        // The bad address starts at column 5 of line 2.
+        let err = parse_trace("N\n  L oops\n").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 5));
+        assert!(err.to_string().contains("line 2, column 5"), "got {err}");
+        // A missing operand points at the tag that demanded it.
+        let err = parse_trace("  B\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 3));
+        // A trailing token points at itself.
+        let err = parse_trace("L 1 junk\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 5));
+    }
+
+    #[test]
+    fn strict_mode_rejects_duplicate_addresses() {
+        let text = "L 0x10\nS 2\nN\nS 0x10\n";
+        // The lenient parser replays revisited lines as-is.
+        assert_eq!(parse_trace(text).unwrap().len(), 4);
+        let err = parse_trace_strict(text).unwrap_err();
+        assert_eq!((err.line, err.column), (4, 3));
+        assert!(
+            err.message.contains("duplicate address 0x10")
+                && err.message.contains("first used at line 1"),
+            "got: {}",
+            err.message
+        );
+        // Distinct addresses pass strict mode untouched.
+        assert_eq!(parse_trace_strict("L 1\nS 2\nB 3\n").unwrap().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! End-to-end guarantees of the observability layer: the trace stream is
+//! a pure function of the simulated system (identical at any worker
+//! count), ring overflow never disturbs retained events, and the fig5
+//! contention trace matches its checked-in golden byte-for-byte.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use vpc::experiments::{fig5, RunBudget};
+use vpc::json::JsonValue;
+use vpc::prelude::*;
+use vpc_sim::check::{self, Config};
+use vpc_sim::exec::{self, Job};
+use vpc_sim::trace::{self, EventData, TraceEvent};
+use vpc_sim::{ensure_eq, Cycle};
+
+/// The worker-count and capture overrides are process-global, so the
+/// tests touching them serialize on one mutex and restore the defaults.
+static EXEC_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn ring_overflow_keeps_prefix_and_counts_drops() {
+    check::forall("ring_overflow", Config::cases(128), |rng| {
+        let capacity = rng.below(64) as usize;
+        let total = rng.below(200);
+        let mut log = trace::TraceLog::new(capacity);
+        let event = |i: u64| TraceEvent {
+            at: i as Cycle,
+            data: EventData::SgbGather { thread: ThreadId(0), line: vpc_sim::LineAddr(i) },
+        };
+        for i in 0..total {
+            log.push(event(i));
+        }
+        let retained = total.min(capacity as u64);
+        ensure_eq!(log.events().len() as u64, retained, "retained count");
+        ensure_eq!(log.dropped(), total - retained, "drop count");
+        ensure_eq!(log.total(), total, "total offered");
+        for (i, e) in log.events().iter().enumerate() {
+            ensure_eq!(*e, event(i as u64), "event {i} reordered or rewritten");
+        }
+        Ok(())
+    });
+}
+
+/// Runs a small contention grid through the exec pool with per-job
+/// capture armed and returns the labeled logs, restoring all globals.
+fn captured_grid(workers: usize) -> Vec<(String, trace::TraceLog)> {
+    exec::set_jobs(Some(workers));
+    trace::set_capture(Some(4096));
+    let jobs: Vec<Job<()>> = [2usize, 4]
+        .into_iter()
+        .map(|banks| {
+            Job::new(format!("grid/{banks}B"), move || {
+                let mut cfg = CmpConfig::table1().with_banks(banks);
+                cfg.l2.total_sets = 512;
+                let cfg = cfg.with_vpc_shares(vec![Share::new(1, 4).unwrap(); 4]);
+                let mut sys = CmpSystem::new(cfg, &fig5::contention_workloads());
+                sys.run(4_000);
+            })
+        })
+        .collect();
+    exec::map_indexed(jobs, exec::jobs());
+    let logs = trace::take_job_logs();
+    trace::set_capture(None);
+    exec::set_jobs(None);
+    exec::take_timings();
+    logs
+}
+
+#[test]
+fn job_trace_streams_identical_at_jobs_1_and_4() {
+    let _guard = EXEC_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = captured_grid(1);
+    let parallel = captured_grid(4);
+    assert_eq!(serial.len(), 2, "one log per job");
+    for ((label_s, log_s), (label_p, log_p)) in serial.iter().zip(&parallel) {
+        assert_eq!(label_s, label_p, "job logs arrive in input order");
+        assert_eq!(log_s, log_p, "trace stream for {label_s} depends on the worker count");
+        assert!(!log_s.events().is_empty(), "{label_s} recorded no events");
+    }
+}
+
+/// Environment variable that switches the golden test into updater mode
+/// (same flow as `tests/golden_quick.rs`).
+const UPDATE_ENV: &str = "VPC_UPDATE_GOLDENS";
+
+#[test]
+fn trace_fig5_matches_golden() {
+    let log = fig5::trace_scenario(&CmpConfig::table1(), RunBudget::quick(), 512);
+    let doc = vpc::trace::chrome_trace("fig5/contention Loads+3xStores", &log);
+    let rendered = doc.pretty() + "\n";
+    // The export must round-trip through the in-tree parser.
+    let parsed = JsonValue::parse(&rendered).expect("chrome trace parses back");
+    assert_eq!(parsed, doc, "parse(pretty(doc)) is not the identity");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/quick/trace_fig5.json");
+    if std::env::var(UPDATE_ENV).is_ok_and(|v| v == "1") {
+        std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("read {path:?}: {e}\n(generate with {UPDATE_ENV}=1 cargo test --test trace_observability)")
+    });
+    assert_eq!(
+        rendered, golden,
+        "regenerated fig5 contention trace differs from the golden; if the \
+         behavior change is intended, refresh with {UPDATE_ENV}=1"
+    );
+}
