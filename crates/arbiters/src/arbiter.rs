@@ -49,26 +49,28 @@ pub trait Arbiter: fmt::Debug {
         None
     }
 
-    /// The threads still holding pending requests, each with its current
-    /// virtual start time `R.S_i` where the policy tracks one, for trace
-    /// observability (the "deferred" side of a grant). Read-only.
-    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
-        Vec::new()
+    /// Appends the threads still holding pending requests to `out`, each
+    /// with its current virtual start time `R.S_i` where the policy tracks
+    /// one, for trace observability (the "deferred" side of a grant).
+    /// Read-only; the caller clears and reuses `out` so the per-grant
+    /// backlog report allocates nothing in steady state.
+    fn backlogged_threads(&self, out: &mut Vec<(vpc_sim::ThreadId, Option<u64>)>) {
+        let _ = out;
     }
 }
 
-/// Distinct threads present in `queues`, in first-occurrence order, with
-/// no virtual time (shared by the FIFO-family arbiters' backlog reports).
+/// Appends the distinct threads present in `queues`, in first-occurrence
+/// order, with no virtual time (shared by the FIFO-family arbiters'
+/// backlog reports).
 fn fifo_backlog<'a>(
     queues: impl Iterator<Item = &'a ArbRequest>,
-) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
-    let mut out: Vec<(vpc_sim::ThreadId, Option<u64>)> = Vec::new();
+    out: &mut Vec<(vpc_sim::ThreadId, Option<u64>)>,
+) {
     for req in queues {
         if !out.iter().any(|(t, _)| *t == req.thread) {
             out.push((req.thread, None));
         }
     }
-    out
 }
 
 /// First-come first-serve: grants the oldest pending request regardless of
@@ -103,8 +105,8 @@ impl Arbiter for FcfsArbiter {
         self.queue.len()
     }
 
-    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
-        fifo_backlog(self.queue.iter())
+    fn backlogged_threads(&self, out: &mut Vec<(vpc_sim::ThreadId, Option<u64>)>) {
+        fifo_backlog(self.queue.iter(), out);
     }
 }
 
@@ -145,8 +147,8 @@ impl Arbiter for RowFcfsArbiter {
         self.reads.len() + self.writes.len()
     }
 
-    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
-        fifo_backlog(self.reads.iter().chain(self.writes.iter()))
+    fn backlogged_threads(&self, out: &mut Vec<(vpc_sim::ThreadId, Option<u64>)>) {
+        fifo_backlog(self.reads.iter().chain(self.writes.iter()), out);
     }
 }
 
@@ -204,13 +206,14 @@ impl Arbiter for RoundRobinArbiter {
         self.pending
     }
 
-    fn backlogged_threads(&self) -> Vec<(vpc_sim::ThreadId, Option<u64>)> {
-        self.queues
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(t, _)| (vpc_sim::ThreadId(t as u8), None))
-            .collect()
+    fn backlogged_threads(&self, out: &mut Vec<(vpc_sim::ThreadId, Option<u64>)>) {
+        out.extend(
+            self.queues
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(t, _)| (vpc_sim::ThreadId(t as u8), None)),
+        );
     }
 }
 

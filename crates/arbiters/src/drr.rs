@@ -125,15 +125,16 @@ impl Arbiter for DrrArbiter {
         true
     }
 
-    fn backlogged_threads(&self) -> Vec<(ThreadId, Option<u64>)> {
+    fn backlogged_threads(&self, out: &mut Vec<(ThreadId, Option<u64>)>) {
         // DRR keeps no virtual clock — deficit credit is not a virtual
         // time — so backlogged threads report without one.
-        self.threads
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.queue.is_empty())
-            .map(|(t, _)| (ThreadId(t as u8), None))
-            .collect()
+        out.extend(
+            self.threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.queue.is_empty())
+                .map(|(t, _)| (ThreadId(t as u8), None)),
+        );
     }
 }
 

@@ -34,6 +34,9 @@ pub struct ArbitratedResource {
     per_thread_busy: [u64; MAX_THREADS],
     grants: u64,
     trace_id: Option<ResourceId>,
+    /// Reused by the per-grant backlog trace report so steady-state grants
+    /// allocate nothing.
+    backlog_scratch: Vec<(ThreadId, Option<u64>)>,
 }
 
 impl ArbitratedResource {
@@ -46,6 +49,7 @@ impl ArbitratedResource {
             per_thread_busy: [0; MAX_THREADS],
             grants: 0,
             trace_id: None,
+            backlog_scratch: Vec::new(),
         }
     }
 
@@ -95,7 +99,9 @@ impl ArbitratedResource {
                         virtual_finish: virt.map(|(_, f)| f),
                     },
                 });
-                for (thread, virtual_start) in self.arbiter.backlogged_threads() {
+                self.backlog_scratch.clear();
+                self.arbiter.backlogged_threads(&mut self.backlog_scratch);
+                for &(thread, virtual_start) in &self.backlog_scratch {
                     trace::emit(|| TraceEvent {
                         at: now,
                         data: EventData::Defer { resource, thread, virtual_start },
@@ -135,6 +141,24 @@ impl ArbitratedResource {
     /// Access to the underlying arbiter (e.g. to reconfigure VPC shares).
     pub fn arbiter_mut(&mut self) -> &mut dyn Arbiter {
         self.arbiter.as_mut()
+    }
+
+    /// The earliest cycle at which this resource can change observable
+    /// state absent new enqueues: with requests pending, the next
+    /// [`ArbitratedResource::try_grant`] that is not blocked by the busy
+    /// window will grant one. `None` when nothing is pending — an idle
+    /// resource never acts spontaneously (`busy_until` elapsing is not
+    /// itself an observable change; it only enables a future grant).
+    ///
+    /// Conservative by design: the returned cycle is never *later* than a
+    /// real state change, which is the direction the quiescence protocol
+    /// requires (see `DESIGN.md` §10).
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.arbiter.is_empty() {
+            None
+        } else {
+            Some(self.busy_until.max(now + 1))
+        }
     }
 }
 

@@ -141,16 +141,13 @@ impl Arbiter for SfqArbiter {
         self.last_virtual
     }
 
-    fn backlogged_threads(&self) -> Vec<(ThreadId, Option<u64>)> {
-        self.threads
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.queue.is_empty())
-            .map(|(t, s)| {
+    fn backlogged_threads(&self, out: &mut Vec<(ThreadId, Option<u64>)>) {
+        out.extend(self.threads.iter().enumerate().filter(|(_, s)| !s.queue.is_empty()).map(
+            |(t, s)| {
                 let start = if s.share.is_zero() { None } else { Some(s.finish) };
                 (ThreadId(t as u8), start)
-            })
-            .collect()
+            },
+        ));
     }
 }
 

@@ -222,13 +222,14 @@ impl Arbiter for VpcArbiter {
         self.last_virtual
     }
 
-    fn backlogged_threads(&self) -> Vec<(ThreadId, Option<u64>)> {
-        self.threads
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.buffer.is_empty())
-            .map(|(t, s)| (ThreadId(t as u8), Some(s.r_s)))
-            .collect()
+    fn backlogged_threads(&self, out: &mut Vec<(ThreadId, Option<u64>)>) {
+        out.extend(
+            self.threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.buffer.is_empty())
+                .map(|(t, s)| (ThreadId(t as u8), Some(s.r_s))),
+        );
     }
 }
 

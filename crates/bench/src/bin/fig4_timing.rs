@@ -4,6 +4,7 @@ use vpc::experiments::fig4;
 use vpc::prelude::*;
 
 fn main() {
+    vpc_bench::skip_from_args();
     let base = CmpConfig::table1();
     println!("{}", fig4::run(&base));
 }

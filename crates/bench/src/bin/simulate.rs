@@ -148,6 +148,7 @@ fn build_arbiter(args: &Args) -> Result<ArbiterPolicy, String> {
 }
 
 fn run() -> Result<(), String> {
+    vpc_bench::skip_from_args();
     let args = parse_args()?;
     // Installed process-wide so any pooled work (and future parallel
     // paths) honors the flag; the single CmpSystem run itself is serial.

@@ -17,9 +17,13 @@ use vpc::report::TimingReport;
 use vpc_sim::{exec, trace};
 
 pub mod harness;
+pub mod scenarios;
 
-/// Parses the standard CLI: `--quick` selects short windows.
+/// Parses the standard CLI: `--quick` selects short windows. Also
+/// installs the `--no-skip` cycle-skipping override (see
+/// [`skip_from_args`]) so every experiment binary honors it.
 pub fn budget_from_args() -> RunBudget {
+    skip_from_args();
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("VPC_QUICK").is_ok_and(|v| v == "1");
     if quick {
@@ -27,6 +31,21 @@ pub fn budget_from_args() -> RunBudget {
     } else {
         RunBudget::standard()
     }
+}
+
+/// Parses `--no-skip` (or `VPC_NO_SKIP=1`): disables quiescence-aware
+/// cycle skipping for every system built afterwards, forcing the naive
+/// tick-every-cycle loop. Output is byte-identical either way (that is
+/// the protocol's contract, and `tests/skip_equivalence.rs` enforces
+/// it); the flag exists as a cross-check and for debugging the skipping
+/// machinery itself. Returns `true` when skipping stays enabled.
+pub fn skip_from_args() -> bool {
+    let no_skip = std::env::args().any(|a| a == "--no-skip")
+        || std::env::var("VPC_NO_SKIP").is_ok_and(|v| v == "1");
+    if no_skip {
+        vpc::set_cycle_skipping_default(false);
+    }
+    !no_skip
 }
 
 /// Parses `--jobs N` / `--jobs=N`, installs it as the process-wide worker

@@ -109,6 +109,13 @@ pub struct L2Bank {
     bus: ArbitratedResource,
     rr_next: usize,
     events: Vec<(Cycle, usize, Completion)>,
+    /// Cached minimum due-cycle over `events` (`u64::MAX` when empty), so
+    /// the per-tick completion scan is O(1) when nothing is due.
+    events_min: Cycle,
+    /// Free-slot bitmask over `sms` (bit set = slot free), replacing the
+    /// linear `position(Option::is_none)` scan with an O(1) lowest-bit
+    /// lookup that allocates the same lowest free index.
+    sm_free: Vec<u64>,
     mem_out: VecDeque<MemRequest>,
     responses: VecDeque<(Cycle, CacheResponse)>,
     pending_fetches: Vec<(u64, usize)>,
@@ -162,6 +169,15 @@ impl L2Bank {
             },
             rr_next: 0,
             events: Vec::new(),
+            events_min: u64::MAX,
+            sm_free: {
+                let n = cfg.threads * cfg.sm_per_thread;
+                let mut words = vec![!0u64; n.div_ceil(64)];
+                if !n.is_multiple_of(64) {
+                    *words.last_mut().expect("at least one word") = (1u64 << (n % 64)) - 1;
+                }
+                words
+            },
             mem_out: VecDeque::new(),
             responses: VecDeque::new(),
             pending_fetches: Vec::new(),
@@ -204,12 +220,13 @@ impl L2Bank {
     ///
     /// Panics if the token does not match an outstanding fetch.
     pub fn on_mem_response(&mut self, token: u64, now: Cycle) {
+        // Tokens are issued monotonically per bank, so `pending_fetches`
+        // stays sorted by construction and a binary search suffices.
         let idx = self
             .pending_fetches
-            .iter()
-            .position(|&(t, _)| t == token)
+            .binary_search_by_key(&token, |&(t, _)| t)
             .expect("memory response matches an outstanding fetch");
-        let (_, sm_idx) = self.pending_fetches.swap_remove(idx);
+        let (_, sm_idx) = self.pending_fetches.remove(idx);
         let sm = self.sms[sm_idx].expect("fetching SM is live");
         debug_assert_eq!(sm.state, SmState::MemWait);
 
@@ -339,6 +356,71 @@ impl L2Bank {
         self.policy.reconfigure_quota(thread, ways)
     }
 
+    /// The earliest cycle at which this bank can change observable state
+    /// absent new [`L2Bank::submit`] / [`L2Bank::on_mem_response`] input:
+    /// a scheduled completion, a queued response maturing, a resource
+    /// grant, a port arrival, or a controller intake the bank would
+    /// accept. `None` when nothing is pending at any future cycle.
+    ///
+    /// Bank-cycle terms round up to even (the bank acts at half core
+    /// frequency); response maturation does not (responses are polled
+    /// every core cycle). Conservative by design: the returned cycle is
+    /// never *later* than a real state change (see `DESIGN.md` §10) — an
+    /// early wake-up is a harmless no-op tick.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let horizon = now + 1;
+        let even = |c: Cycle| c + (c & 1);
+        // A matured response is deliverable on the very next cycle — the
+        // only term not rounded to a bank (even) cycle, so check it first
+        // and then early-return whenever a term hits the bank-cycle floor:
+        // no later check can improve on it.
+        if let Some(&(at, _)) = self.responses.front() {
+            if at <= horizon {
+                return Some(horizon);
+            }
+        }
+        let floor = even(horizon);
+        let mut best: Cycle = u64::MAX;
+        if let Some(&(at, _)) = self.responses.front() {
+            best = best.min(at);
+        }
+        if self.events_min != u64::MAX {
+            best = best.min(even(self.events_min.max(horizon)));
+        }
+        for r in [&self.tag, &self.data, &self.bus] {
+            if let Some(c) = r.next_activity(now) {
+                best = best.min(even(c));
+            }
+        }
+        if best == floor {
+            return Some(floor);
+        }
+        for (t, port) in self.ports.iter().enumerate() {
+            if let Some(ready) = port.next_arrival() {
+                best = best.min(even(ready.max(horizon)));
+            }
+            if port.peek_would_mutate() {
+                // The naive loop's next bank cycle performs the mutating
+                // peek (partial-flush marking), so it is real activity.
+                best = best.min(even(horizon));
+            }
+            if let Some((c, line)) = port.next_candidate_line(horizon) {
+                // The candidate only constitutes activity if intake would
+                // accept it; a blocked candidate unblocks via events or
+                // new input, which the other terms cover.
+                if self.sm_used[t] < self.cfg.sm_per_thread
+                    && !self.sms.iter().flatten().any(|sm| sm.line == line)
+                {
+                    best = best.min(even(c));
+                }
+            }
+            if best == floor {
+                return Some(floor);
+            }
+        }
+        (best != u64::MAX).then_some(best)
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
@@ -352,23 +434,56 @@ impl L2Bank {
     fn free_sm(&mut self, sm_idx: usize) {
         if let Some(sm) = self.sms[sm_idx].take() {
             self.sm_used[sm.thread.index()] -= 1;
+            self.sm_free[sm_idx / 64] |= 1 << (sm_idx % 64);
         }
     }
 
+    /// Allocates the lowest free SM slot — the same index the former
+    /// `position(Option::is_none)` scan produced, found in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is exhausted (the caller's per-thread quota
+    /// check guarantees a free slot).
+    fn alloc_sm(&mut self) -> usize {
+        for (w, word) in self.sm_free.iter_mut().enumerate() {
+            if *word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                return w * 64 + bit;
+            }
+        }
+        panic!("SM pool has a free slot");
+    }
+
     fn schedule(&mut self, at: Cycle, sm_idx: usize, what: Completion) {
+        self.events_min = self.events_min.min(at);
         self.events.push((at, sm_idx, what));
     }
 
     fn process_events(&mut self, now: Cycle) {
+        if self.events_min > now {
+            return;
+        }
+        // The swap_remove scan order is load-bearing: same-cycle
+        // completions are handled in the order the swaps produce, and that
+        // order is observable downstream (FCFS arbitration, `mem_out`
+        // order). Keep the legacy scan; the cached minimum above makes the
+        // common nothing-due tick O(1), and the new minimum falls out of
+        // the same pass: every surviving event is examined exactly once
+        // (swap_remove only pulls not-yet-visited elements forward).
+        let mut min = u64::MAX;
         let mut i = 0;
         while i < self.events.len() {
             if self.events[i].0 <= now {
                 let (_, sm_idx, what) = self.events.swap_remove(i);
                 self.handle_completion(sm_idx, what, now);
             } else {
+                min = min.min(self.events[i].0);
                 i += 1;
             }
         }
+        self.events_min = min;
     }
 
     fn handle_completion(&mut self, sm_idx: usize, what: Completion, now: Cycle) {
@@ -545,8 +660,7 @@ impl L2Bank {
             if conflict {
                 continue;
             }
-            let sm_idx =
-                self.sms.iter().position(Option::is_none).expect("SM pool has a free slot");
+            let sm_idx = self.alloc_sm();
             let req = candidate.request;
             self.sms[sm_idx] = Some(Sm {
                 thread: req.thread,

@@ -52,7 +52,9 @@ pub mod trace;
 pub mod vpm;
 
 pub use config::{CmpConfig, WorkloadSpec};
-pub use system::{CmpSystem, Measurement, Snapshot};
+pub use system::{
+    cycle_skipping_default, set_cycle_skipping_default, CmpSystem, Measurement, Snapshot,
+};
 pub use target::target_ipc;
 pub use vpm::{VpmAllocation, VpmConfig, VpmError};
 

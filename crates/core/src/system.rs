@@ -1,10 +1,29 @@
 //! The simulated CMP: cores + shared L2 + memory, with measurement windows.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use vpc_cache::{L2Utilization, SgbStats, SharedL2};
 use vpc_cpu::Core;
 use vpc_sim::{Cycle, ThreadId};
 
 use crate::config::{CmpConfig, WorkloadSpec};
+
+/// Process-wide default for quiescence-aware cycle skipping. On by
+/// default; the experiment binaries' `--no-skip` escape hatch clears it.
+static SKIP_BY_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for quiescence-aware cycle skipping.
+/// Systems built afterwards capture this setting; systems that already
+/// exist are unaffected. Thread-safe (the parallel experiment pool builds
+/// systems from worker threads).
+pub fn set_cycle_skipping_default(enabled: bool) {
+    SKIP_BY_DEFAULT.store(enabled, Ordering::SeqCst);
+}
+
+/// The current process-wide default for quiescence-aware cycle skipping.
+pub fn cycle_skipping_default() -> bool {
+    SKIP_BY_DEFAULT.load(Ordering::SeqCst)
+}
 
 /// Counter baseline captured at the start of a measurement window.
 #[derive(Debug, Clone)]
@@ -64,6 +83,9 @@ pub struct CmpSystem {
     cores: Vec<Core>,
     l2: SharedL2,
     now: Cycle,
+    /// Whether [`CmpSystem::run`] may fast-forward through quiescent
+    /// regions (captured from [`cycle_skipping_default`] at construction).
+    skip_enabled: bool,
 }
 
 impl CmpSystem {
@@ -97,7 +119,7 @@ impl CmpSystem {
             .collect();
         let l2 =
             SharedL2::with_channel_mode(config.l2.clone(), config.mem, config.channels.clone());
-        CmpSystem { cores, l2, now: 0 }
+        CmpSystem { cores, l2, now: 0, skip_enabled: cycle_skipping_default() }
     }
 
     /// Builds a system with heterogeneous cores: `core_configs[i]` runs
@@ -124,7 +146,7 @@ impl CmpSystem {
             .collect();
         let l2 =
             SharedL2::with_channel_mode(config.l2.clone(), config.mem, config.channels.clone());
-        CmpSystem { cores, l2, now: 0 }
+        CmpSystem { cores, l2, now: 0, skip_enabled: cycle_skipping_default() }
     }
 
     /// Current simulated time.
@@ -133,7 +155,85 @@ impl CmpSystem {
     }
 
     /// Advances the whole system by `cycles` processor cycles.
+    ///
+    /// With cycle skipping enabled (the default), after each real tick the
+    /// system asks every component for its next-activity cycle and, when
+    /// the minimum lies beyond the next cycle, fast-forwards straight to
+    /// it — advancing the cores' per-tick stall counters arithmetically so
+    /// every statistic matches the naive loop exactly. Output is
+    /// byte-identical to [`CmpSystem::run_reference`] (see `DESIGN.md`
+    /// §10 and the `skip_equivalence` property tests).
     pub fn run(&mut self, cycles: Cycle) {
+        if !self.skip_enabled {
+            self.run_reference(cycles);
+            return;
+        }
+        let end = self.now + cycles;
+        // Exponential backoff on failed skip attempts: when the scan
+        // concludes "next activity is the very next cycle", re-scanning
+        // immediately is pure overhead, so double the naive-tick stretch
+        // before trying again (capped). This is a scheduling heuristic
+        // only — whether a cycle is reached by ticking or by a skip
+        // attempt that found nothing, the simulated history is identical.
+        let mut backoff: Cycle = 0;
+        let mut failures: u32 = 0;
+        while self.now < end {
+            for core in &mut self.cores {
+                core.tick(self.now, &mut self.l2);
+            }
+            self.l2.tick(self.now);
+            while let Some(resp) = self.l2.pop_response(self.now) {
+                self.cores[resp.thread.index()].on_l2_response(resp.line, self.now);
+            }
+            if backoff > 0 {
+                backoff -= 1;
+                self.now += 1;
+                continue;
+            }
+            // Cores first, cheapest check leading: any core acting on the
+            // very next cycle caps the target at now + 1, making the much
+            // pricier L2/memory scan pointless — skip it entirely. This
+            // keeps the protocol's overhead negligible while cores run;
+            // the full scan only happens once every core is stalled.
+            let horizon = self.now + 1;
+            let mut na: Option<Cycle> = None;
+            for core in &self.cores {
+                if let Some(c) = core.next_activity(self.now, &self.l2) {
+                    na = Some(na.map_or(c, |b| b.min(c)));
+                    if c == horizon {
+                        break;
+                    }
+                }
+            }
+            if na != Some(horizon) {
+                if let Some(c) = self.l2.next_activity(self.now) {
+                    na = Some(na.map_or(c, |b| b.min(c)));
+                }
+            }
+            // A fully quiescent system (na == None) sleeps to the end of
+            // the requested span; new input can only come from a caller.
+            let target = na.unwrap_or(end).clamp(horizon, end);
+            // Only engage for skips long enough to beat the cost of the
+            // scan that found them; a shorter window is ticked naively
+            // (identical history either way) and counts toward backoff.
+            if target > self.now + 8 || (target > horizon && target == end) {
+                for core in &mut self.cores {
+                    core.fast_forward(self.now, target);
+                }
+                failures = 0;
+                self.now = target;
+            } else {
+                failures = (failures + 1).min(6);
+                backoff = 1 << failures; // 2, 4, ... capped at 64
+                self.now += 1;
+            }
+        }
+    }
+
+    /// Advances the whole system by `cycles` with the naive
+    /// tick-every-cycle loop, never skipping — the reference the
+    /// quiescence property tests compare [`CmpSystem::run`] against.
+    pub fn run_reference(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
         while self.now < end {
             for core in &mut self.cores {
@@ -145,6 +245,13 @@ impl CmpSystem {
             }
             self.now += 1;
         }
+    }
+
+    /// Enables or disables quiescence-aware cycle skipping for this
+    /// system, overriding the process-wide default captured at
+    /// construction.
+    pub fn set_cycle_skipping(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
     }
 
     /// Captures a counter baseline for a measurement window.

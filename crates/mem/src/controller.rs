@@ -76,6 +76,11 @@ pub struct MemoryController {
     responses: VecDeque<MemResponse>,
     /// Tokens completed by channels, pending conversion to responses.
     scratch: Vec<u64>,
+    /// Reused candidate list for shared-channel scheduling, so the
+    /// per-tick scan allocates nothing in steady state.
+    cand_scratch: Vec<(u64, MemRequest)>,
+    /// Reused `(thread, estimate)` list handed to the fair-queuing clock.
+    fq_scratch: Vec<(ThreadId, u64)>,
     /// (token -> (thread, line)) for in-flight reads.
     pending_reads: Vec<(u64, ThreadId, LineAddr)>,
     /// Fair-queuing state for [`ChannelMode::SharedFq`].
@@ -117,6 +122,8 @@ impl MemoryController {
                 .collect(),
             responses: VecDeque::new(),
             scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            fq_scratch: Vec::new(),
             pending_reads: Vec::new(),
             fq,
             next_seq: 0,
@@ -173,6 +180,9 @@ impl MemoryController {
                 self.responses.push_back(MemResponse { thread, line, token });
             }
         }
+        // Leave all scratch buffers empty so controller state (and its
+        // `Debug` rendering) never depends on how often we were ticked.
+        self.scratch.clear();
     }
 
     /// The request thread `t` would send next, under read priority with
@@ -233,8 +243,11 @@ impl MemoryController {
         if self.channels[0].bus_free_at() > now + t.t_rcd + t.t_cl {
             return;
         }
-        // One transaction per cycle onto the single shared channel.
-        let mut candidates: Vec<(u64, MemRequest)> = Vec::new();
+        // One transaction per cycle onto the single shared channel. The
+        // candidate list is a reused scratch buffer so steady-state ticks
+        // allocate nothing.
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        candidates.clear();
         for t in 0..self.queues.len() {
             if let Some((seq, req)) = self.thread_candidate(t) {
                 if self.channels[0].bank_available(req.line, now) {
@@ -243,15 +256,20 @@ impl MemoryController {
             }
         }
         if candidates.is_empty() {
+            self.cand_scratch = candidates;
             return;
         }
         let winner = match &mut self.fq {
             // Fair queuing: earliest virtual finish time first.
             Some(fq) => {
                 let estimate = self.config.timing.idle_read_latency();
-                let list: Vec<(ThreadId, u64)> =
-                    candidates.iter().map(|(_, r)| (r.thread, estimate)).collect();
-                fq.pick(&list).expect("candidates nonempty")
+                let mut list = std::mem::take(&mut self.fq_scratch);
+                list.clear();
+                list.extend(candidates.iter().map(|(_, r)| (r.thread, estimate)));
+                let w = fq.pick(&list).expect("candidates nonempty");
+                list.clear();
+                self.fq_scratch = list;
+                w
             }
             // FCFS: oldest arrival across all threads.
             None => candidates
@@ -281,6 +299,52 @@ impl MemoryController {
                 });
             }
         }
+        candidates.clear();
+        self.cand_scratch = candidates;
+    }
+
+    /// The earliest cycle at which this controller can change observable
+    /// state absent new [`MemoryController::enqueue`] calls: a queued
+    /// response waiting to pop, an in-flight transaction completing, or a
+    /// buffered request becoming schedulable. `None` when fully idle.
+    ///
+    /// Conservative by design: the returned cycle is never *later* than a
+    /// real state change (see `DESIGN.md` §10) — an early wake-up is a
+    /// harmless no-op tick.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let horizon = now + 1;
+        if !self.responses.is_empty() {
+            return Some(horizon);
+        }
+        let mut best: Option<Cycle> = None;
+        let mut consider = |c: Cycle| best = Some(best.map_or(c, |b: Cycle| b.min(c)));
+        for ch in &self.channels {
+            if let Some(done) = ch.next_completion() {
+                consider(done.max(horizon));
+            }
+        }
+        match self.mode {
+            ChannelMode::PerThread => {
+                for t in 0..self.channels.len() {
+                    if let Some((_, req)) = self.thread_candidate(t) {
+                        consider(self.channels[t].bank_ready_at(req.line).max(horizon));
+                    }
+                }
+            }
+            ChannelMode::SharedFcfs | ChannelMode::SharedFq { .. } => {
+                // Admission control re-opens once `now` catches up to the
+                // bus reservation horizon; a candidate then issues when its
+                // bank is also ready.
+                let t = self.config.timing;
+                let gate = self.channels[0].bus_free_at().saturating_sub(t.t_rcd + t.t_cl);
+                for thr in 0..self.queues.len() {
+                    if let Some((_, req)) = self.thread_candidate(thr) {
+                        consider(self.channels[0].bank_ready_at(req.line).max(gate).max(horizon));
+                    }
+                }
+            }
+        }
+        best
     }
 
     /// Reconfigures `thread`'s share of a shared fair-queued channel.

@@ -10,13 +10,13 @@ export CARGO_NET_OFFLINE=true
 
 echo "== build (release, offline) =="
 cargo build --release
-cargo build --release --bins
+cargo build --release --workspace --bins
 
 echo "== test (workspace, including formerly-slow ignored tests) =="
 cargo test -q --workspace -- --include-ignored
 
-echo "== rustdoc (warnings are errors) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+echo "== rustdoc (warnings are errors, binaries included) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --bins
 
 echo "== fmt =="
 cargo fmt --all -- --check
@@ -26,6 +26,15 @@ if command -v cargo-clippy >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
 else
     echo "== clippy not installed; skipping =="
+fi
+
+echo "== perf smoke (non-gating) =="
+# Wall-clock comparison against the checked-in BENCH_5.json baseline.
+# Informational only: shared CI hardware is too noisy to gate on.
+if [ -f BENCH_5.json ]; then
+    ./target/release/perf_smoke || echo "perf smoke failed (non-gating)"
+else
+    echo "no BENCH_5.json baseline checked in; skipping"
 fi
 
 echo "CI OK"
